@@ -1,0 +1,16 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["emit", "mean"]
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced figure/table (shown with ``pytest -s`` or on failure)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+
+
+def mean(values) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    values = list(values)
+    return sum(values) / len(values)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section V) and asserts its *qualitative shape* — which scheduler wins, by
+roughly what factor, how the curves move with density — rather than the
+absolute numbers (our substrate is a discrete simulator, not the authors'
+Mica-mote-calibrated testbed).
+
+Scale selection
+---------------
+``REPRO_BENCH_SCALE=quick`` (default) runs a reduced sweep (3 node counts,
+2 repetitions, narrow beam) so ``pytest benchmarks/ --benchmark-only``
+finishes in a few minutes; ``REPRO_BENCH_SCALE=paper`` runs the full
+Section V-A parameterisation (50-300 nodes, 5 repetitions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SweepConfig, sweep_from_env
+
+
+def pytest_configure(config):  # noqa: D103 - pytest hook
+    config.addinivalue_line(
+        "markers", "figure: benchmark regenerating a figure of the paper"
+    )
+    config.addinivalue_line(
+        "markers", "table: benchmark regenerating a table of the paper"
+    )
+    config.addinivalue_line(
+        "markers", "ablation: benchmark for a design-choice ablation (ours)"
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_config() -> SweepConfig:
+    """The sweep configuration selected by REPRO_BENCH_SCALE."""
+    return sweep_from_env()
+
+
+@pytest.fixture(scope="session")
+def bench_rounds() -> dict:
+    """pytest-benchmark pedantic settings for expensive whole-sweep benches."""
+    return {"rounds": 1, "iterations": 1, "warmup_rounds": 0}

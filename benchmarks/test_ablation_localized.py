@@ -1,0 +1,88 @@
+"""Ablation A4: localized contention vs centralised E-model selection.
+
+The paper's future work (§VII) asks for a localized colour scheme.  This
+bench compares the distributed greedy-MIS election of
+:class:`repro.core.localized.LocalizedEModelPolicy` against the centralised
+E-model and G-OPT on paper-style deployments, in both system models.
+Expected shape: the localized scheme stays within a couple of rounds (a
+fraction of a cycle in the duty-cycle system) of the centralised E-model
+while using only 2-hop information, and both remain far below the
+layer-synchronised baselines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.approx26 import Approx26Policy
+from repro.core.localized import LocalizedEModelPolicy
+from repro.core.policies import EModelPolicy, GreedyOptPolicy
+from repro.core.time_counter import SearchConfig
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.sim.broadcast import run_broadcast
+from repro.utils.format import format_table
+
+from _bench_utils import emit, mean
+
+
+def _run_localized_ablation(count: int = 3, num_nodes: int = 100, rate: int = 10):
+    config = DeploymentConfig(num_nodes=num_nodes, source_min_ecc=4, source_max_ecc=None)
+    sync: dict[str, list[int]] = {"26-approx": [], "E-model": [], "localized-E": [], "G-OPT": []}
+    duty: dict[str, list[int]] = {"E-model": [], "localized-E": []}
+    for index in range(count):
+        topology, source = deploy_uniform(config=config, seed=500 + index)
+        sync["26-approx"].append(
+            run_broadcast(topology, source, Approx26Policy(), validate=False).latency
+        )
+        sync["E-model"].append(
+            run_broadcast(topology, source, EModelPolicy(), validate=False).latency
+        )
+        sync["localized-E"].append(
+            run_broadcast(topology, source, LocalizedEModelPolicy(), validate=False).latency
+        )
+        sync["G-OPT"].append(
+            run_broadcast(
+                topology,
+                source,
+                GreedyOptPolicy(search=SearchConfig(mode="beam", beam_width=4)),
+                validate=False,
+            ).latency
+        )
+        schedule = WakeupSchedule(topology.node_ids, rate=rate, seed=600 + index)
+        for name, policy in (("E-model", EModelPolicy()), ("localized-E", LocalizedEModelPolicy())):
+            duty[name].append(
+                run_broadcast(
+                    topology,
+                    source,
+                    policy,
+                    schedule=schedule,
+                    align_start=True,
+                    validate=False,
+                ).latency
+            )
+    return sync, duty
+
+
+@pytest.mark.ablation
+def test_ablation_localized_vs_centralised(benchmark, bench_rounds):
+    sync, duty = benchmark.pedantic(_run_localized_ablation, **bench_rounds)
+
+    rows = [[name, *values, f"{mean(values):.1f}"] for name, values in sync.items()]
+    emit(
+        "Ablation A4 (synchronous): localized contention vs centralised selection",
+        format_table(["scheduler", "dep 1", "dep 2", "dep 3", "mean"], rows),
+    )
+    rows = [[name, *values, f"{mean(values):.1f}"] for name, values in duty.items()]
+    emit(
+        "Ablation A4 (duty cycle r=10)",
+        format_table(["scheduler", "dep 1", "dep 2", "dep 3", "mean"], rows),
+    )
+
+    # Localized decisions cost little versus the centralised E-model ...
+    assert mean(sync["localized-E"]) <= mean(sync["E-model"]) + 2.0
+    assert mean(duty["localized-E"]) <= mean(duty["E-model"]) + 10.0
+    # ... and remain far better than per-layer synchronisation.
+    assert mean(sync["localized-E"]) < mean(sync["26-approx"])
+    # The global search stays the best of the three, as expected.
+    assert mean(sync["G-OPT"]) <= mean(sync["localized-E"]) + 1e-9

@@ -1,0 +1,40 @@
+"""Figure 4: experimental P(A) in the duty-cycle system with r = 10.
+
+Asserted shape (paper §V-B/V-C): the pipeline schedulers dramatically beat
+the 17-approximation at every density; G-OPT stays within r slots of OPT in
+the heavy duty-cycle system; the E-model remains well below the baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure4
+from repro.sim.metrics import improvement_percent
+
+from _bench_utils import emit, mean
+
+
+@pytest.mark.figure
+def test_figure4_duty10_latency(benchmark, sweep_config, bench_rounds):
+    result = benchmark.pedantic(figure4, args=(sweep_config,), **bench_rounds)
+    emit("Figure 4 (reproduced, r = 10)", result.to_text())
+
+    baseline = result.series_for("17-approx")
+    opt = result.series_for("OPT")
+    gopt = result.series_for("G-OPT")
+    emodel = result.series_for("E-model")
+    rate = 10
+
+    for i in range(len(result.x_values)):
+        assert opt[i] < baseline[i]
+        assert gopt[i] < baseline[i]
+        assert emodel[i] < baseline[i]
+        # §V-C: in the heavy duty-cycle system the G-OPT / OPT difference is
+        # controlled within r slots.
+        assert abs(gopt[i] - opt[i]) <= rate
+
+    improvement = improvement_percent(mean(baseline), mean(gopt))
+    # Paper: 85-90% improvement; our baseline re-implementation is stronger,
+    # require a still-large margin.
+    assert improvement >= 50.0

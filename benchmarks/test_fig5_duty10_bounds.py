@@ -1,0 +1,37 @@
+"""Figure 5: analytical upper bounds in the duty-cycle system with r = 10.
+
+The figure compares the Theorem-1 bound ``2 r (d + 2)`` of the pipeline
+schedulers against the ``17 k d`` bound quoted for the duty-cycle baseline
+[12].  Asserted shape: the Theorem-1 curve sits far below the baseline's
+bound at every density, and both grow with the deployment's hop radius.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure5
+
+from _bench_utils import emit
+
+
+@pytest.mark.figure
+def test_figure5_duty10_bounds(benchmark, sweep_config, bench_rounds):
+    result = benchmark.pedantic(figure5, args=(sweep_config,), **bench_rounds)
+    emit("Figure 5 (reproduced, analytical bounds, r = 10)", result.to_text())
+
+    theorem1 = result.series_for("OPT-analysis (2r(d+2))")
+    baseline = result.series_for("17-approx bound (17kd)")
+
+    for i in range(len(result.x_values)):
+        assert theorem1[i] < baseline[i]
+        # 17 k d with k = 2r is at least 8.5x the Theorem-1 bound for d >= 4.
+        assert baseline[i] / theorem1[i] >= 4.0
+        assert theorem1[i] > 0
+
+    # The experimental schedules that produced the eccentricities (the cheap
+    # E-model sweep) stay far inside the baseline's analytical envelope.
+    sweep = result.sweep
+    assert sweep is not None
+    for record in sweep.records:
+        assert record.latency <= 17 * (2 * 10) * max(record.eccentricity, 1)

@@ -1,0 +1,33 @@
+"""Figure 7: analytical upper bounds in the light duty-cycle system (r = 50).
+
+Same comparison as Figure 5 at the 2% duty cycle: the Theorem-1 bound
+``2 r (d + 2)`` vs the baseline's ``17 k d``; the gap widens with the cycle
+length because ``k`` scales with ``2 r``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure5, figure7
+
+from _bench_utils import emit, mean
+
+
+@pytest.mark.figure
+def test_figure7_duty50_bounds(benchmark, sweep_config, bench_rounds):
+    result = benchmark.pedantic(figure7, args=(sweep_config,), **bench_rounds)
+    emit("Figure 7 (reproduced, analytical bounds, r = 50)", result.to_text())
+
+    theorem1 = result.series_for("OPT-analysis (2r(d+2))")
+    baseline = result.series_for("17-approx bound (17kd)")
+
+    for i in range(len(result.x_values)):
+        assert theorem1[i] < baseline[i]
+        assert baseline[i] / theorem1[i] >= 4.0
+
+    # The r = 50 bounds are ~5x the r = 10 bounds for the same densities
+    # (both scale linearly in r); verify the scaling against Figure 5.
+    fig5 = figure5(sweep_config, sweep=result.sweep)
+    ratio = mean(theorem1) / mean(fig5.series_for("OPT-analysis (2r(d+2))"))
+    assert ratio == pytest.approx(5.0, rel=0.01)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Density sweep: regenerate a small version of the paper's Figures 3 and 4.
+
+The paper's evaluation sweeps the deployment density from 0.02 to 0.12
+nodes/sq-ft and reports the end-to-end delay of every scheduler.  This
+example runs a configurable slice of that sweep and prints the same series
+as text tables and CSV — handy for spot-checking trends without running the
+full benchmark suite.
+
+Run it with::
+
+    python examples/density_sweep.py [--scale quick|paper] [--repetitions 2]
+    python examples/density_sweep.py --system duty --rate 50
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.config import PAPER_SWEEP, QUICK_SWEEP
+from repro.experiments.figures import figure3, figure4, figure6
+from repro.experiments.report import claims_to_text, summary_claims
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["quick", "paper"], default="quick")
+    parser.add_argument("--repetitions", type=int, default=None)
+    parser.add_argument(
+        "--system",
+        choices=["sync", "duty", "both"],
+        default="sync",
+        help="which system model to sweep",
+    )
+    parser.add_argument("--rate", type=int, default=10, help="duty-cycle rate r")
+    parser.add_argument("--csv", action="store_true", help="also print CSV output")
+    args = parser.parse_args()
+
+    config = PAPER_SWEEP if args.scale == "paper" else QUICK_SWEEP
+    if args.repetitions is not None:
+        config = config.with_repetitions(args.repetitions)
+
+    results = []
+    if args.system in ("sync", "both"):
+        results.append(figure3(config))
+    if args.system in ("duty", "both"):
+        results.append(figure4(config) if args.rate == 10 else figure6(config))
+
+    for figure in results:
+        print(figure.to_text())
+        print()
+        if args.csv:
+            print(figure.to_csv())
+
+    if args.system == "both":
+        checks = summary_claims(results[0], results[1])
+        print("Section V-C claims on this sweep:")
+        print(claims_to_text(checks))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Duty-cycle scenario: alarm dissemination in an energy-harvesting field.
+
+The paper's motivation is mission-critical dissemination (e.g. an alarm) in
+a WSN whose nodes sleep most of the time to save energy.  This example
+models a monitoring field where every node is on a 2%-10% duty cycle and an
+alarm raised at a random sensor must reach the whole network:
+
+* a wake-up schedule with cycle rate ``r`` is generated per node;
+* the alarm is broadcast with the duty-cycle-aware baseline (the
+  17-approximation of Jiao et al.) and with the paper's pipeline schedulers;
+* the latency is reported in slots and in milliseconds for a typical
+  LPL slot length, together with the cycle-waiting overhead.
+
+Run it with::
+
+    python examples/duty_cycle_alarm.py [--nodes 120] [--rate 10] [--slot-ms 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    Approx17Policy,
+    EModelPolicy,
+    GreedyOptPolicy,
+    WakeupSchedule,
+    deploy_uniform,
+    run_broadcast,
+)
+from repro.core.bounds import duty_cycle_17_bound, duty_cycle_opt_bound
+from repro.core.time_counter import SearchConfig
+from repro.dutycycle.cwt import max_cwt
+from repro.sim.metrics import improvement_percent
+from repro.utils.format import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=120)
+    parser.add_argument("--rate", type=int, default=10, help="cycle rate r (slots per cycle)")
+    parser.add_argument("--slot-ms", type=float, default=20.0, help="slot length in ms")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    topology, source = deploy_uniform(num_nodes=args.nodes, seed=args.seed)
+    schedule = WakeupSchedule(topology.node_ids, rate=args.rate, seed=args.seed + 1)
+    eccentricity = topology.eccentricity(source)
+    duty_percent = 100.0 / args.rate
+
+    print(
+        f"Alarm field: {args.nodes} nodes, {duty_percent:.0f}% duty cycle "
+        f"(r = {args.rate} slots), alarm source {eccentricity} hops from the edge.\n"
+    )
+
+    schedulers = {
+        "17-approx (baseline)": Approx17Policy(),
+        "G-OPT": GreedyOptPolicy(search=SearchConfig(mode="beam", beam_width=5)),
+        "E-model": EModelPolicy(),
+    }
+
+    rows = []
+    latencies: dict[str, int] = {}
+    for name, policy in schedulers.items():
+        result = run_broadcast(
+            topology, source, policy, schedule=schedule, align_start=True
+        )
+        latencies[name] = result.latency
+        rows.append(
+            [
+                name,
+                result.latency,
+                f"{result.latency * args.slot_ms:.0f}",
+                result.num_advances,
+                result.idle_time,
+            ]
+        )
+
+    print(
+        format_table(
+            ["scheduler", "P(A) [slots]", "latency [ms]", "relay slots", "waiting slots"],
+            rows,
+        )
+    )
+
+    theorem1 = duty_cycle_opt_bound(args.rate, eccentricity)
+    baseline_bound = duty_cycle_17_bound(eccentricity, max_cwt(args.rate))
+    baseline = latencies["17-approx (baseline)"]
+    best = min(latencies["G-OPT"], latencies["E-model"])
+    print(
+        f"\nAnalytical bounds: Theorem 1 gives {theorem1} slots for the pipeline "
+        f"schedulers vs {baseline_bound} slots (17·k·d) for the baseline."
+    )
+    print(
+        f"Measured improvement of the pipeline over the duty-cycle baseline: "
+        f"{improvement_percent(baseline, best):.0f}% "
+        f"({baseline * args.slot_ms:.0f} ms -> {best * args.slot_ms:.0f} ms)."
+    )
+
+
+if __name__ == "__main__":
+    main()

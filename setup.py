@@ -1,0 +1,15 @@
+"""Setuptools shim.
+
+The environment this reproduction targets is fully offline and does not ship
+the ``wheel`` package, so PEP 660 editable installs (which build a wheel)
+fail.  Keeping a classic ``setup.py`` allows::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+to fall back to the legacy ``setup.py develop`` code path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Baseline schedulers the paper compares against (Section V / VI)."""
+
+from repro.baselines.approx17 import Approx17Policy
+from repro.baselines.approx26 import Approx26Policy
+from repro.baselines.bfs_tree import BroadcastTree, build_broadcast_tree, greedy_parent_cover
+from repro.baselines.flooding import FloodingPolicy, LargestFirstPolicy
+
+__all__ = [
+    "Approx17Policy",
+    "Approx26Policy",
+    "BroadcastTree",
+    "FloodingPolicy",
+    "LargestFirstPolicy",
+    "build_broadcast_tree",
+    "greedy_parent_cover",
+]

@@ -1,0 +1,49 @@
+"""The paper's contribution: colour schemes, time counter M, E-model, policies."""
+
+from repro.core.advance import Advance, BroadcastState
+from repro.core.bounds import (
+    duty_cycle_17_bound,
+    duty_cycle_opt_bound,
+    emodel_update_cost,
+    sync_26_bound,
+    sync_opt_bound,
+)
+from repro.core.coloring import (
+    ColorScheme,
+    enumerate_color_classes,
+    frontier_candidates,
+    greedy_color_classes,
+)
+from repro.core.estimation import EdgeEstimate, build_edge_estimate
+from repro.core.localized import LocalizedEModelPolicy, local_contention_winners
+from repro.core.policies import (
+    EModelPolicy,
+    GreedyOptPolicy,
+    OptPolicy,
+    SchedulingPolicy,
+)
+from repro.core.time_counter import SearchConfig, TimeCounter
+
+__all__ = [
+    "Advance",
+    "BroadcastState",
+    "ColorScheme",
+    "EModelPolicy",
+    "EdgeEstimate",
+    "GreedyOptPolicy",
+    "LocalizedEModelPolicy",
+    "OptPolicy",
+    "SchedulingPolicy",
+    "SearchConfig",
+    "TimeCounter",
+    "build_edge_estimate",
+    "duty_cycle_17_bound",
+    "duty_cycle_opt_bound",
+    "emodel_update_cost",
+    "enumerate_color_classes",
+    "frontier_candidates",
+    "greedy_color_classes",
+    "local_contention_winners",
+    "sync_26_bound",
+    "sync_opt_bound",
+]

@@ -1,0 +1,150 @@
+"""Broadcast state and the *broadcasting advance* ``A(W, t)``.
+
+The paper's schedulers operate on the pair ``(W, t)``: the set ``W`` of
+nodes that already received the message and the current round/slot ``t``.
+Selecting a colour ``C_i`` and letting all its members relay concurrently is
+called an *advance*; the advance's receivers are ``N(u)`` over ``u ∈ C_i``
+restricted to ``W̄``.  These two immutable records are the contract between
+the scheduling policies (:mod:`repro.core.policies`) and the simulators
+(:mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.interference import receivers_of
+from repro.network.topology import WSNTopology
+
+__all__ = ["BroadcastState", "Advance"]
+
+
+@dataclass(frozen=True)
+class BroadcastState:
+    """The scheduling state ``(W, t)`` a policy decides on.
+
+    Attributes
+    ----------
+    topology:
+        The network.
+    covered:
+        ``W`` — nodes already holding the message.
+    time:
+        The current round (synchronous system) or slot (duty-cycle system),
+        1-based.
+    schedule:
+        The wake-up schedule for the duty-cycle system, or ``None`` for the
+        round-based synchronous system (every node may send every round).
+    """
+
+    topology: WSNTopology
+    covered: frozenset[int]
+    time: int
+    schedule: WakeupSchedule | None = None
+
+    def __post_init__(self) -> None:
+        unknown = self.covered - self.topology.node_set
+        if unknown:
+            raise ValueError(f"covered contains unknown nodes: {sorted(unknown)}")
+        if self.time < 1:
+            raise ValueError(f"time is 1-based, got {self.time}")
+
+    @property
+    def uncovered(self) -> frozenset[int]:
+        """``W̄ = N - W``."""
+        return self.topology.node_set - self.covered
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every node holds the message (``W = N``)."""
+        return len(self.covered) == self.topology.num_nodes
+
+    @property
+    def is_synchronous(self) -> bool:
+        """True for the round-based system (no wake-up schedule attached)."""
+        return self.schedule is None
+
+    def awake(self, nodes: frozenset[int] | set[int]) -> frozenset[int]:
+        """Subset of ``nodes`` allowed to send at the current time.
+
+        In the synchronous system every node may send; in the duty-cycle
+        system only nodes with ``time ∈ T(u)``.
+        """
+        if self.schedule is None:
+            return frozenset(nodes)
+        return self.schedule.awake_nodes(nodes, self.time)
+
+    def advanced(self, advance: "Advance | None", new_time: int) -> "BroadcastState":
+        """Return the successor state after applying ``advance`` at ``new_time``."""
+        new_covered = self.covered
+        if advance is not None:
+            new_covered = self.covered | advance.receivers
+        return BroadcastState(
+            topology=self.topology,
+            covered=new_covered,
+            time=new_time,
+            schedule=self.schedule,
+        )
+
+
+@dataclass(frozen=True)
+class Advance:
+    """One broadcasting advance: a selected colour relaying at ``time``.
+
+    Attributes
+    ----------
+    time:
+        The round/slot at which the colour transmits.
+    color:
+        The transmitting nodes (the selected colour ``C_i``).
+    receivers:
+        The uncovered nodes reached by this advance (``A(W, t)``).
+    color_index:
+        1-based index of the selected colour in the colouring that produced
+        it (``i`` of ``C_i``); 0 when not applicable (e.g. the source's own
+        initial transmission).
+    num_colors:
+        ``λ(W)`` — the number of colours the colouring produced, recorded
+        for traces and metrics.
+    """
+
+    time: int
+    color: frozenset[int]
+    receivers: frozenset[int]
+    color_index: int = 0
+    num_colors: int = 0
+    note: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 1:
+            raise ValueError(f"time is 1-based, got {self.time}")
+        if not self.color:
+            raise ValueError("an advance needs at least one transmitter")
+
+    @property
+    def utilization(self) -> float:
+        """Receivers per transmitter (the link utilisation of the advance)."""
+        return len(self.receivers) / len(self.color)
+
+    @classmethod
+    def from_color(
+        cls,
+        topology: WSNTopology,
+        covered: frozenset[int],
+        color: frozenset[int],
+        time: int,
+        *,
+        color_index: int = 0,
+        num_colors: int = 0,
+        note: str = "",
+    ) -> "Advance":
+        """Build an advance from a colour, computing its receivers."""
+        return cls(
+            time=time,
+            color=frozenset(color),
+            receivers=receivers_of(topology, color, covered),
+            color_index=color_index,
+            num_colors=num_colors,
+            note=note,
+        )

@@ -1,0 +1,312 @@
+"""Scheduling policies (Algorithm 3): OPT, G-OPT and the E-model.
+
+A *policy* answers one question: given the current broadcast state
+``(W, t)``, which colour (if any) should relay now?  The simulators in
+:mod:`repro.sim` drive a policy round-by-round (or slot-by-slot) and apply
+the advances it returns; the baselines of :mod:`repro.baselines` implement
+the same interface, so every scheduler in the paper's evaluation is
+exercised through identical machinery.
+
+* :class:`OptPolicy` — the ultimate target: candidate colours are *all*
+  admissible colours of Eq. (1) and each is evaluated with the recursive
+  time counter ``M`` (Eq. 5 synchronous / Eq. 6 duty-cycle).
+* :class:`GreedyOptPolicy` — candidate colours restricted to the greedy
+  classes of Algorithm 1, still evaluated with ``M`` (Eq. 7 / Eq. 8).
+* :class:`EModelPolicy` — the practical protocol: greedy classes scored by
+  the proactive 4-tuple ``E`` (Eq. 10); no recursive search at run time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Literal
+
+from repro.core.advance import Advance, BroadcastState
+from repro.core.coloring import ColorScheme, greedy_color_classes
+from repro.core.estimation import EdgeEstimate, build_edge_estimate
+from repro.core.time_counter import SearchConfig, TimeCounter
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.topology import WSNTopology
+
+__all__ = [
+    "SchedulingPolicy",
+    "OptPolicy",
+    "GreedyOptPolicy",
+    "EModelPolicy",
+]
+
+
+class SchedulingPolicy(ABC):
+    """Interface shared by every scheduler in the evaluation.
+
+    Subclasses implement :meth:`select_advance`; the optional
+    :meth:`prepare` hook is invoked by :func:`repro.sim.broadcast.run_broadcast`
+    once per broadcast with the topology, schedule and source, letting
+    policies precompute per-broadcast structures (BFS trees, E-tuples,
+    search caches).
+    """
+
+    #: Human-readable name used in traces, metrics and experiment reports.
+    name: str = "policy"
+
+    #: Whether the policy promises interference-free advances.  The engines
+    #: reject conflicting transmitter sets for such policies (catching bugs
+    #: early); the idealised flooding reference sets this to False because it
+    #: deliberately ignores interference (it is a latency floor, not a real
+    #: schedule).
+    interference_free: bool = True
+
+    def prepare(
+        self,
+        topology: WSNTopology,
+        schedule: WakeupSchedule | None,
+        source: int,
+    ) -> None:
+        """Per-broadcast initialisation hook (default: nothing to do)."""
+
+    @abstractmethod
+    def select_advance(self, state: BroadcastState) -> Advance | None:
+        """Return the advance to apply at ``state.time`` (or ``None`` to idle).
+
+        Returning ``None`` means no relay transmits this round/slot — either
+        coverage is complete, or (duty-cycle system) no frontier node is
+        awake.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class _TimeCounterPolicy(SchedulingPolicy):
+    """Shared implementation of the two ``M``-driven schedulers."""
+
+    #: Colour provider used at the decision point (top level of Eq. 5/7).
+    _decision_scheme: ColorScheme
+    #: Colour provider used inside the recursive evaluation of ``M``.
+    _recursion_scheme: ColorScheme
+
+    def __init__(
+        self,
+        topology: WSNTopology | None = None,
+        schedule: WakeupSchedule | None = None,
+        *,
+        search: SearchConfig | None = None,
+    ) -> None:
+        self._search = search or SearchConfig()
+        self._topology = topology
+        self._schedule = schedule
+        self._counter: TimeCounter | None = None
+        if topology is not None:
+            self._counter = self._build_counter(topology, schedule)
+
+    def _build_counter(
+        self, topology: WSNTopology, schedule: WakeupSchedule | None
+    ) -> TimeCounter:
+        return TimeCounter(
+            topology,
+            schedule=schedule,
+            color_scheme=self._recursion_scheme,
+            config=self._search,
+        )
+
+    def prepare(
+        self,
+        topology: WSNTopology,
+        schedule: WakeupSchedule | None,
+        source: int,
+    ) -> None:
+        rebuild = (
+            self._counter is None
+            or self._topology is not topology
+            or self._schedule is not schedule
+        )
+        if rebuild:
+            self._topology = topology
+            self._schedule = schedule
+            self._counter = self._build_counter(topology, schedule)
+        else:
+            assert self._counter is not None
+            self._counter.clear_cache()
+
+    @property
+    def search_config(self) -> SearchConfig:
+        """The search configuration used to evaluate ``M``."""
+        return self._search
+
+    @property
+    def counter(self) -> TimeCounter | None:
+        """The underlying time counter (``None`` until prepared)."""
+        return self._counter
+
+    def select_advance(self, state: BroadcastState) -> Advance | None:
+        if state.is_complete:
+            return None
+        if self._counter is None or self._topology is not state.topology:
+            # Lazy preparation for callers that drive the policy directly.
+            self.prepare(state.topology, state.schedule, source=-1)
+        assert self._counter is not None
+
+        awake = None
+        if state.schedule is not None:
+            awake = state.schedule.awake_nodes(state.covered, state.time)
+        colors = self._decision_scheme.color_classes(
+            state.topology, state.covered, awake
+        )
+        if not colors:
+            return None
+        best_color, _ = self._counter.select_color(state.covered, state.time, colors)
+        num_colors = len(colors)
+        color_index = next(
+            (i + 1 for i, c in enumerate(colors) if c == best_color), 0
+        )
+        return Advance.from_color(
+            state.topology,
+            state.covered,
+            best_color,
+            state.time,
+            color_index=color_index,
+            num_colors=num_colors,
+            note=self.name,
+        )
+
+
+class OptPolicy(_TimeCounterPolicy):
+    """The OPT target (Eq. 1 + Eq. 5/6): any admissible colour, ranked by ``M``.
+
+    Parameters
+    ----------
+    topology, schedule:
+        Optional early binding (otherwise taken from the first state seen).
+    search:
+        Search configuration for the ``M`` evaluation; exact search is the
+        default and appropriate for the worked examples and tests, beam
+        search (``SearchConfig(mode="beam")``) for the 50-300 node sweeps.
+    max_color_classes:
+        Cap on the number of admissible colours enumerated per decision
+        (see DESIGN.md; ``None`` = exhaustive).
+    """
+
+    name = "OPT"
+
+    def __init__(
+        self,
+        topology: WSNTopology | None = None,
+        schedule: WakeupSchedule | None = None,
+        *,
+        search: SearchConfig | None = None,
+        max_color_classes: int | None = 64,
+    ) -> None:
+        scheme = ColorScheme(mode="exhaustive", max_classes=max_color_classes)
+        self._decision_scheme = scheme
+        self._recursion_scheme = scheme
+        super().__init__(topology, schedule, search=search)
+
+
+class GreedyOptPolicy(_TimeCounterPolicy):
+    """The G-OPT target (Eq. 2/3 + Eq. 7/8): greedy colours ranked by ``M``."""
+
+    name = "G-OPT"
+
+    def __init__(
+        self,
+        topology: WSNTopology | None = None,
+        schedule: WakeupSchedule | None = None,
+        *,
+        search: SearchConfig | None = None,
+    ) -> None:
+        scheme = ColorScheme(mode="greedy")
+        self._decision_scheme = scheme
+        self._recursion_scheme = scheme
+        super().__init__(topology, schedule, search=search)
+
+
+class EModelPolicy(SchedulingPolicy):
+    """The practical E-model scheduler (Algorithm 3, item 3; Eq. 10).
+
+    Greedy colour classes are computed for the current frontier and the
+    class containing the node with the largest relevant edge estimate is
+    selected.  Ties are broken in favour of the colour with more receivers
+    (the greedy scheme's own preference), then the lower colour index.
+
+    Parameters
+    ----------
+    topology, schedule:
+        Optional early binding; the estimate is (re)built in
+        :meth:`prepare` for the topology/schedule actually simulated.
+    weight:
+        ``"expected"`` (default) or ``"unit"`` — the Eq. (11) weight used in
+        the duty-cycle system; ignored in the synchronous system.
+    """
+
+    name = "E-model"
+
+    def __init__(
+        self,
+        topology: WSNTopology | None = None,
+        schedule: WakeupSchedule | None = None,
+        *,
+        weight: Literal["expected", "unit"] = "expected",
+    ) -> None:
+        self._weight = weight
+        self._topology = topology
+        self._schedule = schedule
+        self._estimate: EdgeEstimate | None = None
+        if topology is not None:
+            self._estimate = build_edge_estimate(topology, schedule, weight=weight)
+
+    @property
+    def estimate(self) -> EdgeEstimate | None:
+        """The proactively constructed 4-tuples (``None`` until prepared)."""
+        return self._estimate
+
+    def prepare(
+        self,
+        topology: WSNTopology,
+        schedule: WakeupSchedule | None,
+        source: int,
+    ) -> None:
+        rebuild = (
+            self._estimate is None
+            or self._topology is not topology
+            or self._schedule is not schedule
+        )
+        if rebuild:
+            self._topology = topology
+            self._schedule = schedule
+            self._estimate = build_edge_estimate(topology, schedule, weight=self._weight)
+
+    def select_advance(self, state: BroadcastState) -> Advance | None:
+        if state.is_complete:
+            return None
+        if self._estimate is None or self._topology is not state.topology:
+            self.prepare(state.topology, state.schedule, source=-1)
+        assert self._estimate is not None
+
+        awake = None
+        if state.schedule is not None:
+            awake = state.schedule.awake_nodes(state.covered, state.time)
+        colors = greedy_color_classes(state.topology, state.covered, awake)
+        if not colors:
+            return None
+
+        scored: list[tuple[float, int, int, frozenset[int]]] = []
+        for index, color in enumerate(colors):
+            score = self._estimate.color_score(state.topology, color, state.covered)
+            advance = Advance.from_color(
+                state.topology, state.covered, color, state.time
+            )
+            scored.append((score, len(advance.receivers), -index, color))
+        scored.sort(key=lambda item: (item[0], item[1], item[2]), reverse=True)
+        best_color = scored[0][3]
+        color_index = next(
+            (i + 1 for i, c in enumerate(colors) if c == best_color), 0
+        )
+        return Advance.from_color(
+            state.topology,
+            state.covered,
+            best_color,
+            state.time,
+            color_index=color_index,
+            num_colors=len(colors),
+            note=self.name,
+        )

@@ -1,0 +1,649 @@
+"""The time counter ``M`` (Eqs. 4-8): heuristic evaluation of colour choices.
+
+``M(W, t)`` is the earliest end round/slot of a broadcast that currently
+covers ``W`` at time ``t`` and, from now on, always selects the colour whose
+recursive completion time is minimal.  The OPT target evaluates ``M`` over
+*every* admissible colour (Eq. 5/6); the G-OPT target restricts the
+candidates to the greedy colour classes (Eq. 7/8).
+
+Tractability
+------------
+The exact recursion is exponential in the number of advances.  The paper
+computes ``M`` "off-line in the simulator" without describing how it is made
+tractable; this implementation provides
+
+* ``mode="exact"`` — memoised depth-first search over coverage states with a
+  hard state-count budget (used in tests and on the paper's worked
+  examples, where it is cheap), and
+* ``mode="beam"``  — a beam search over coverage states (default width 8)
+  that preserves the "evaluate each candidate colour by its recursive
+  completion time" semantics while bounding work; exact and beam agree on
+  every small instance we test (see ``tests/unit/test_time_counter.py`` and
+  the beam-width ablation benchmark).
+
+Two structural properties keep both searches sound:
+
+* **Monotonicity** — a larger covered set never completes later: every
+  colour admissible for ``W`` remains admissible (after dropping useless
+  transmitters) for any ``W' ⊇ W``, so transmitting earlier never hurts.
+  This is why the duty-cycle search may always jump to the next slot at
+  which *some* frontier node is awake instead of branching over idle waits.
+* **Admissible lower bound** — any schedule needs at least as many advances
+  as the largest hop distance from ``W`` to an uncovered node, because one
+  advance extends coverage by at most one hop.  The bound drives both the
+  exact search's pruning and the beam ranking.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from repro.core.coloring import ColorScheme, frontier_candidates
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.interference import receivers_of
+from repro.network.topology import WSNTopology
+
+__all__ = ["SearchConfig", "TimeCounter", "SearchBudgetExceeded", "UnreachableNodes"]
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the exact search exceeds its state budget.
+
+    The caller should retry with ``mode="beam"`` (or a larger budget).
+    """
+
+
+class UnreachableNodes(RuntimeError):
+    """Raised when uncovered nodes can never be reached (disconnected graph)."""
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Configuration of the ``M`` search.
+
+    Attributes
+    ----------
+    mode:
+        ``"exact"`` (memoised DFS, guaranteed optimal w.r.t. the colour
+        provider) or ``"beam"`` (bounded-width search).
+    beam_width:
+        Number of coverage states kept per step in beam mode.
+    max_states:
+        State budget of the exact mode; exceeded ⇒ :class:`SearchBudgetExceeded`.
+    max_slots:
+        Hard horizon for duty-cycle searches, expressed as a multiple of
+        ``2 r (d + 2)`` (the Theorem-1 bound); a schedule exceeding it
+        indicates a modelling error rather than a legitimate schedule.
+    """
+
+    mode: Literal["exact", "beam"] = "exact"
+    beam_width: int = 8
+    max_states: int = 250_000
+    max_slots: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exact", "beam"):
+            raise ValueError(f"unknown search mode {self.mode!r}")
+        if self.beam_width < 1:
+            raise ValueError(f"beam_width must be >= 1, got {self.beam_width}")
+        if self.max_states < 1:
+            raise ValueError(f"max_states must be >= 1, got {self.max_states}")
+        if self.max_slots <= 0:
+            raise ValueError(f"max_slots must be > 0, got {self.max_slots}")
+
+
+@dataclass
+class _SearchStats:
+    """Counters exposed for tests and the ablation benchmarks."""
+
+    expansions: int = 0
+    memo_hits: int = 0
+    states: int = 0
+
+    def reset(self) -> None:
+        self.expansions = 0
+        self.memo_hits = 0
+        self.states = 0
+
+
+class TimeCounter:
+    """Evaluates ``M(W, t)`` for a topology under a colour scheme.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    schedule:
+        Wake-up schedule for the duty-cycle system; ``None`` selects the
+        round-based synchronous recursion (Eq. 4/5/7).
+    color_scheme:
+        The colour provider used *inside* the recursion: greedy for G-OPT
+        (Eq. 7/8), exhaustive for OPT (Eq. 5/6).
+    config:
+        Search configuration (exact vs beam).
+    """
+
+    def __init__(
+        self,
+        topology: WSNTopology,
+        schedule: WakeupSchedule | None = None,
+        color_scheme: ColorScheme | None = None,
+        config: SearchConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.schedule = schedule
+        self.color_scheme = color_scheme or ColorScheme(mode="greedy")
+        self.config = config or SearchConfig()
+        self.stats = _SearchStats()
+        self._sync_memo: dict[frozenset[int], int] = {}
+        self._duty_memo: dict[tuple[frozenset[int], int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def completion_time(self, covered: Iterable[int], time: int) -> int:
+        """``M(W, t)``: the end round/slot of the best continuation.
+
+        For a complete ``W`` this is ``t - 1`` (the broadcast already ended
+        before ``t``), matching the terminal case of Eq. (4).
+        """
+        covered = frozenset(covered)
+        if time < 1:
+            raise ValueError(f"time is 1-based, got {time}")
+        self._check_reachable(covered)
+        if self.schedule is None:
+            return time - 1 + self._remaining_sync(covered)
+        return self._completion_duty(covered, time)
+
+    def rank_colors(
+        self,
+        covered: Iterable[int],
+        time: int,
+        colors: Iterable[frozenset[int]],
+    ) -> list[tuple[frozenset[int], int]]:
+        """Evaluate candidate colours by ``M(W + C_i, t + 1)``.
+
+        Returns ``(color, completion_time)`` pairs sorted by completion
+        time, breaking ties in favour of larger coverage and then the
+        lexicographically smallest colour (for determinism).
+        """
+        covered = frozenset(covered)
+        ranked: list[tuple[frozenset[int], int]] = []
+        for color in colors:
+            reached = receivers_of(self.topology, color, covered)
+            completion = self.completion_time(covered | reached, time + 1)
+            ranked.append((frozenset(color), completion))
+        ranked.sort(key=lambda item: (item[1], -len(item[0]), tuple(sorted(item[0]))))
+        return ranked
+
+    def select_color(
+        self,
+        covered: Iterable[int],
+        time: int,
+        colors: Iterable[frozenset[int]],
+    ) -> tuple[frozenset[int], int]:
+        """Pick the colour to launch now, per Eq. (5)-(8).
+
+        In ``exact`` mode every candidate colour is evaluated independently
+        with the memoised recursion (identical to :meth:`rank_colors`).  In
+        ``beam`` mode a *single* shared beam search is run in which each
+        state remembers the first colour it committed to; the first colour
+        of the earliest-completing state wins.  This preserves the "judge a
+        colour by the best schedule that starts with it" semantics of the
+        time counter while doing the work of one search instead of
+        ``λ(W)`` searches — the approximation documented in DESIGN.md.
+        """
+        covered = frozenset(covered)
+        colors = [frozenset(c) for c in colors]
+        if not colors:
+            raise ValueError("select_color needs at least one candidate colour")
+        if len(colors) == 1:
+            reached = receivers_of(self.topology, colors[0], covered)
+            return colors[0], self.completion_time(covered | reached, time + 1)
+        if self.config.mode == "exact":
+            return self.rank_colors(covered, time, colors)[0]
+        if self.schedule is None:
+            return self._select_color_beam_sync(covered, time, colors)
+        return self._select_color_beam_duty(covered, time, colors)
+
+    def best_color(
+        self, covered: Iterable[int], time: int
+    ) -> tuple[frozenset[int], int] | None:
+        """The colour minimising ``M`` at ``(W, t)`` and its completion time.
+
+        Returns ``None`` when no colour is available at ``time`` (duty-cycle
+        slot with no awake frontier node, or ``W`` already complete).
+        """
+        covered = frozenset(covered)
+        awake = self._awake_frontier(covered, time)
+        colors = self.color_scheme.color_classes(self.topology, covered, awake)
+        if not colors:
+            return None
+        return self.select_color(covered, time, colors)
+
+    def clear_cache(self) -> None:
+        """Drop memoised values (e.g. after switching deployments)."""
+        self._sync_memo.clear()
+        self._duty_memo.clear()
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _awake_frontier(
+        self, covered: frozenset[int], time: int
+    ) -> frozenset[int] | None:
+        if self.schedule is None:
+            return None
+        return self.schedule.awake_nodes(covered, time)
+
+    def _check_reachable(self, covered: frozenset[int]) -> None:
+        uncovered = self.topology.node_set - covered
+        if not uncovered:
+            return
+        reachable = self._reachable_from(covered)
+        unreachable = uncovered - reachable
+        if unreachable:
+            raise UnreachableNodes(
+                f"{len(unreachable)} nodes can never receive the message "
+                f"(e.g. {sorted(unreachable)[:5]}); the topology is disconnected"
+            )
+
+    def _reachable_from(self, covered: frozenset[int]) -> frozenset[int]:
+        seen = set(covered)
+        queue = deque(covered)
+        while queue:
+            u = queue.popleft()
+            for v in self.topology.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return frozenset(seen)
+
+    def _hop_lower_bound(self, covered: frozenset[int]) -> int:
+        """Largest hop distance from ``W`` to an uncovered node (admissible)."""
+        uncovered = self.topology.node_set - covered
+        if not uncovered:
+            return 0
+        distance = {u: 0 for u in covered}
+        queue = deque(covered)
+        farthest = 0
+        while queue:
+            u = queue.popleft()
+            for v in self.topology.neighbors(u):
+                if v not in distance:
+                    distance[v] = distance[u] + 1
+                    farthest = max(farthest, distance[v])
+                    queue.append(v)
+        return farthest
+
+    def _duty_horizon(self, time: int) -> int:
+        assert self.schedule is not None
+        rate = self.schedule.rate
+        # d+2 measured from scratch is a safe over-estimate of the remaining
+        # depth for any intermediate W.
+        try:
+            depth = self.topology.diameter()
+        except ValueError:  # pragma: no cover - disconnected handled earlier
+            depth = self.topology.num_nodes
+        return time + int(self.config.max_slots * 2 * rate * (depth + 2)) + 2 * rate
+
+    # ------------------------------------------------------------------
+    # Synchronous system
+    # ------------------------------------------------------------------
+    def _remaining_sync(self, covered: frozenset[int]) -> int:
+        if self.config.mode == "exact":
+            return self._remaining_sync_exact(covered)
+        return self._remaining_sync_beam(covered)
+
+    def _remaining_sync_exact(self, covered: frozenset[int]) -> int:
+        if len(covered) == self.topology.num_nodes:
+            return 0
+        cached = self._sync_memo.get(covered)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        if self.stats.expansions >= self.config.max_states:
+            raise SearchBudgetExceeded(
+                f"exact M search exceeded {self.config.max_states} expansions; "
+                "use SearchConfig(mode='beam') for deployments of this size"
+            )
+        self.stats.expansions += 1
+        colors = self.color_scheme.color_classes(self.topology, covered, None)
+        if not colors:
+            raise UnreachableNodes(
+                "no admissible colour although uncovered nodes remain"
+            )
+        best = math.inf
+        # Exploring large-coverage colours first makes the memo fill with
+        # near-final states early, which prunes later branches quickly.
+        expansions = sorted(
+            (receivers_of(self.topology, color, covered) for color in colors),
+            key=lambda reached: -len(reached),
+        )
+        seen_coverages: set[frozenset[int]] = set()
+        for reached in expansions:
+            new_covered = covered | reached
+            if new_covered in seen_coverages:
+                continue
+            seen_coverages.add(new_covered)
+            best = min(best, 1 + self._remaining_sync_exact(new_covered))
+        result = int(best)
+        self._sync_memo[covered] = result
+        self.stats.states = len(self._sync_memo)
+        return result
+
+    def _remaining_sync_beam(self, covered: frozenset[int]) -> int:
+        if len(covered) == self.topology.num_nodes:
+            return 0
+        beam: list[frozenset[int]] = [covered]
+        rounds = 0
+        visited: set[frozenset[int]] = {covered}
+        while beam:
+            rounds += 1
+            successors: set[frozenset[int]] = set()
+            for state in beam:
+                self.stats.expansions += 1
+                colors = self.color_scheme.color_classes(self.topology, state, None)
+                if not colors:
+                    raise UnreachableNodes(
+                        "no admissible colour although uncovered nodes remain"
+                    )
+                for color in colors:
+                    reached = receivers_of(self.topology, color, state)
+                    successors.add(state | reached)
+            complete = [s for s in successors if len(s) == self.topology.num_nodes]
+            if complete:
+                return rounds
+            fresh = [s for s in successors if s not in visited]
+            if not fresh:
+                # Every successor was already explored with fewer rounds; the
+                # remaining beam cannot improve, fall back to the best
+                # successor anyway to guarantee progress.
+                fresh = list(successors)
+            fresh.sort(key=lambda s: (self._hop_lower_bound(s), -len(s), tuple(sorted(s))))
+            beam = fresh[: self.config.beam_width]
+            visited.update(beam)
+            self.stats.states += len(beam)
+            if rounds > self.topology.num_nodes + 2:
+                raise RuntimeError(
+                    "beam search failed to converge; this indicates a bug in "
+                    "the colour provider (coverage must grow every round)"
+                )
+        raise UnreachableNodes("beam search exhausted without completing coverage")
+
+    # ------------------------------------------------------------------
+    # Duty-cycle system
+    # ------------------------------------------------------------------
+    def _completion_duty(self, covered: frozenset[int], slot: int) -> int:
+        if self.config.mode == "exact":
+            return self._completion_duty_exact(covered, slot)
+        return self._completion_duty_beam(covered, slot)
+
+    def _next_decision_slot(self, covered: frozenset[int], slot: int) -> int:
+        """Earliest slot >= ``slot`` at which some frontier node may send."""
+        assert self.schedule is not None
+        frontier = [
+            u for u in covered if self.topology.uncovered_neighbors(u, covered)
+        ]
+        nxt = self.schedule.next_awake_slot(frontier, slot)
+        if nxt is None:
+            raise UnreachableNodes(
+                "no frontier node exists although uncovered nodes remain"
+            )
+        return nxt
+
+    def _completion_duty_exact(self, covered: frozenset[int], slot: int) -> int:
+        assert self.schedule is not None
+        if len(covered) == self.topology.num_nodes:
+            return slot - 1
+        horizon = self._duty_horizon(slot)
+        key = (covered, slot)
+        cached = self._duty_memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        if self.stats.expansions >= self.config.max_states:
+            raise SearchBudgetExceeded(
+                f"exact M search exceeded {self.config.max_states} expansions; "
+                "use SearchConfig(mode='beam') for deployments of this size"
+            )
+        decision_slot = self._next_decision_slot(covered, slot)
+        if decision_slot > horizon:
+            raise RuntimeError(
+                "duty-cycle search exceeded its slot horizon; the wake-up "
+                "schedule does not give frontier nodes sending opportunities"
+            )
+        self.stats.expansions += 1
+        awake = self.schedule.awake_nodes(covered, decision_slot)
+        colors = self.color_scheme.color_classes(self.topology, covered, awake)
+        # ``decision_slot`` guarantees at least one awake frontier node.
+        best = math.inf
+        seen_coverages: set[frozenset[int]] = set()
+        expansions = sorted(
+            (receivers_of(self.topology, color, covered) for color in colors),
+            key=lambda reached: -len(reached),
+        )
+        for reached in expansions:
+            new_covered = covered | reached
+            if new_covered in seen_coverages:
+                continue
+            seen_coverages.add(new_covered)
+            best = min(
+                best, self._completion_duty_exact(new_covered, decision_slot + 1)
+            )
+        result = int(best)
+        self._duty_memo[key] = result
+        self.stats.states = len(self._duty_memo)
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared-beam colour selection (beam mode decision making)
+    # ------------------------------------------------------------------
+    def _color_sort_key(self, color: frozenset[int], covered: frozenset[int]):
+        reached = receivers_of(self.topology, color, covered)
+        return (-len(reached), tuple(sorted(color)))
+
+    def _prune_states(
+        self, states: list[tuple[frozenset[int], frozenset[int]]]
+    ) -> list[tuple[frozenset[int], frozenset[int]]]:
+        """Keep the ``beam_width`` most promising (coverage, first-colour) states.
+
+        States are first ordered by covered-set size (cheap), then the top
+        few are re-ranked with the admissible hop lower bound (a BFS each,
+        so only computed for the short list).
+        """
+        if len(states) <= self.config.beam_width:
+            return states
+        states.sort(key=lambda item: (-len(item[0]), tuple(sorted(item[1]))))
+        shortlist = states[: max(3 * self.config.beam_width, self.config.beam_width)]
+        shortlist.sort(
+            key=lambda item: (
+                self._hop_lower_bound(item[0]),
+                -len(item[0]),
+                tuple(sorted(item[1])),
+            )
+        )
+        return shortlist[: self.config.beam_width]
+
+    def _select_color_beam_sync(
+        self,
+        covered: frozenset[int],
+        time: int,
+        colors: list[frozenset[int]],
+    ) -> tuple[frozenset[int], int]:
+        full = self.topology.node_set
+        ordered = sorted(colors, key=lambda c: self._color_sort_key(c, covered))
+        # states: (covered set, first colour committed to)
+        beam: list[tuple[frozenset[int], frozenset[int]]] = []
+        seen: dict[frozenset[int], frozenset[int]] = {}
+        for color in ordered:
+            reached = receivers_of(self.topology, color, covered)
+            new_covered = covered | reached
+            if new_covered == full:
+                return color, time
+            if new_covered not in seen:
+                seen[new_covered] = color
+                beam.append((new_covered, color))
+        beam = self._prune_states(beam)
+
+        rounds = 1
+        while beam:
+            rounds += 1
+            if rounds > self.topology.num_nodes + 2:
+                raise RuntimeError(
+                    "beam colour selection failed to converge; the colour "
+                    "provider stopped making progress"
+                )
+            successors: dict[frozenset[int], frozenset[int]] = {}
+            completed: list[frozenset[int]] = []
+            for state, first in beam:
+                self.stats.expansions += 1
+                next_colors = self.color_scheme.color_classes(self.topology, state, None)
+                for color in next_colors:
+                    reached = receivers_of(self.topology, color, state)
+                    new_covered = state | reached
+                    if new_covered == full:
+                        completed.append(first)
+                        continue
+                    if new_covered not in successors:
+                        successors[new_covered] = first
+            if completed:
+                # All completions happen at the same round; tie-break by the
+                # first colour's own quality for determinism.
+                completed.sort(key=lambda c: self._color_sort_key(c, covered))
+                return completed[0], time + rounds - 1
+            beam = self._prune_states(list(successors.items()))
+            self.stats.states += len(beam)
+        raise UnreachableNodes("beam colour selection exhausted without completing")
+
+    def _select_color_beam_duty(
+        self,
+        covered: frozenset[int],
+        time: int,
+        colors: list[frozenset[int]],
+    ) -> tuple[frozenset[int], int]:
+        assert self.schedule is not None
+        full = self.topology.node_set
+        horizon = self._duty_horizon(time)
+        ordered = sorted(colors, key=lambda c: self._color_sort_key(c, covered))
+        # states: coverage -> (slot of next decision, first colour)
+        beam: list[tuple[frozenset[int], int, frozenset[int]]] = []
+        best_completion = math.inf
+        best_first: frozenset[int] | None = None
+        seen: set[frozenset[int]] = set()
+        for color in ordered:
+            reached = receivers_of(self.topology, color, covered)
+            new_covered = covered | reached
+            if new_covered == full:
+                if time < best_completion:
+                    best_completion = time
+                    best_first = color
+                continue
+            if new_covered not in seen:
+                seen.add(new_covered)
+                beam.append((new_covered, time + 1, color))
+        if best_first is not None:
+            return best_first, int(best_completion)
+
+        iterations = 0
+        while beam:
+            iterations += 1
+            if iterations > 4 * self.topology.num_nodes + 8:
+                break
+            successors: dict[frozenset[int], tuple[int, frozenset[int]]] = {}
+            for state, slot, first in beam:
+                if slot >= best_completion:
+                    continue
+                decision_slot = self._next_decision_slot(state, slot)
+                if decision_slot > horizon or decision_slot >= best_completion:
+                    continue
+                self.stats.expansions += 1
+                awake = self.schedule.awake_nodes(state, decision_slot)
+                next_colors = self.color_scheme.color_classes(self.topology, state, awake)
+                for color in next_colors:
+                    reached = receivers_of(self.topology, color, state)
+                    new_covered = state | reached
+                    if new_covered == full:
+                        if decision_slot < best_completion:
+                            best_completion = decision_slot
+                            best_first = first
+                        continue
+                    previous = successors.get(new_covered)
+                    if previous is None or decision_slot + 1 < previous[0]:
+                        successors[new_covered] = (decision_slot + 1, first)
+            candidates = [
+                (state, slot, first)
+                for state, (slot, first) in successors.items()
+                if slot < best_completion
+            ]
+            candidates.sort(
+                key=lambda item: (
+                    item[1] + self._hop_lower_bound(item[0]),
+                    -len(item[0]),
+                    tuple(sorted(item[2])),
+                )
+            )
+            beam = candidates[: self.config.beam_width]
+            self.stats.states += len(beam)
+        if best_first is None:
+            # No completion found inside the horizon: fall back to the colour
+            # with the largest immediate coverage (still a valid relay).
+            return ordered[0], int(horizon)
+        return best_first, int(best_completion)
+
+    def _completion_duty_beam(self, covered: frozenset[int], slot: int) -> int:
+        assert self.schedule is not None
+        if len(covered) == self.topology.num_nodes:
+            return slot - 1
+        horizon = self._duty_horizon(slot)
+        beam: list[tuple[frozenset[int], int]] = [(covered, slot)]
+        best_completion = math.inf
+        iterations = 0
+        while beam:
+            iterations += 1
+            if iterations > 4 * self.topology.num_nodes + 8:
+                break
+            successors: dict[frozenset[int], int] = {}
+            for state, state_slot in beam:
+                if state_slot >= best_completion:
+                    continue
+                decision_slot = self._next_decision_slot(state, state_slot)
+                if decision_slot > horizon:
+                    continue
+                self.stats.expansions += 1
+                awake = self.schedule.awake_nodes(state, decision_slot)
+                colors = self.color_scheme.color_classes(self.topology, state, awake)
+                for color in colors:
+                    reached = receivers_of(self.topology, color, state)
+                    new_covered = state | reached
+                    new_slot = decision_slot + 1
+                    if len(new_covered) == self.topology.num_nodes:
+                        best_completion = min(best_completion, decision_slot)
+                        continue
+                    previous = successors.get(new_covered)
+                    if previous is None or new_slot < previous:
+                        successors[new_covered] = new_slot
+            candidates = [
+                (state, state_slot)
+                for state, state_slot in successors.items()
+                if state_slot < best_completion
+            ]
+            candidates.sort(
+                key=lambda item: (
+                    item[1] + self._hop_lower_bound(item[0]),
+                    -len(item[0]),
+                    tuple(sorted(item[0])),
+                )
+            )
+            beam = candidates[: self.config.beam_width]
+            self.stats.states += len(beam)
+        if math.isinf(best_completion):
+            raise RuntimeError(
+                "duty-cycle beam search found no completing schedule within "
+                "its horizon; increase SearchConfig.max_slots"
+            )
+        return int(best_completion)

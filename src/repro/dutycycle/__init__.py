@@ -1,0 +1,13 @@
+"""Asynchronous duty-cycle substrate: wake-up schedules, CWT, slot clock."""
+
+from repro.dutycycle.clock import SlotClock
+from repro.dutycycle.cwt import cycle_waiting_time, expected_cwt, max_cwt
+from repro.dutycycle.schedule import WakeupSchedule
+
+__all__ = [
+    "SlotClock",
+    "WakeupSchedule",
+    "cycle_waiting_time",
+    "expected_cwt",
+    "max_cwt",
+]

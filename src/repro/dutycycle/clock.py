@@ -1,0 +1,61 @@
+"""Slot clock helpers for the duty-cycle system.
+
+The paper's network "simply synchronizes all node actions into each round
+∈ T = {1, 2, 3, ...}" without requiring a global clock; in the simulator we
+do keep a global slot counter, and this small class centralises the 1-based
+slot arithmetic (cycle index, slot-within-cycle) so it is not re-derived in
+several places.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require
+
+__all__ = ["SlotClock"]
+
+
+class SlotClock:
+    """1-based slot counter with cycle arithmetic for cycle rate ``r``."""
+
+    __slots__ = ("_rate", "_slot")
+
+    def __init__(self, rate: int = 1, start: int = 1) -> None:
+        require(rate >= 1, f"cycle rate must be >= 1, got {rate}")
+        require(start >= 1, f"start slot must be >= 1, got {start}")
+        self._rate = int(rate)
+        self._slot = int(start)
+
+    @property
+    def rate(self) -> int:
+        """The cycle rate ``r``."""
+        return self._rate
+
+    @property
+    def slot(self) -> int:
+        """The current slot (1-based)."""
+        return self._slot
+
+    @property
+    def cycle(self) -> int:
+        """The current cycle index (0-based): slots 1..r are cycle 0."""
+        return (self._slot - 1) // self._rate
+
+    @property
+    def slot_in_cycle(self) -> int:
+        """Position of the current slot within its cycle (1..r)."""
+        return (self._slot - 1) % self._rate + 1
+
+    def tick(self, slots: int = 1) -> int:
+        """Advance the clock by ``slots`` and return the new slot."""
+        require(slots >= 1, f"must advance by >= 1 slot, got {slots}")
+        self._slot += slots
+        return self._slot
+
+    def advance_to(self, slot: int) -> int:
+        """Jump forward to ``slot`` (must not move backwards)."""
+        require(slot >= self._slot, f"cannot move clock backwards to {slot}")
+        self._slot = int(slot)
+        return self._slot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlotClock(rate={self._rate}, slot={self._slot})"

@@ -1,0 +1,58 @@
+"""Cycle waiting time (CWT) queries.
+
+The paper defines the CWT ``t(u, v)`` as the time node ``u`` (which holds the
+message at some slot ``t``) waits until its successor ``v`` can be served by
+``v``'s next sending opportunity::
+
+    t(u, v) = min { t_i - t }  over  t_i ∈ T(v), t_i > t ∈ T(u)
+
+i.e. the gap between ``u``'s sending slot ``t`` and the first later slot at
+which ``v`` itself may forward the message.  CWTs drive two parts of the
+system: the asynchronous E-model weights (Eq. 11) and the analysis of the
+worst case in Theorem 1 (a full ``2r`` slots when both ends share a
+schedule).
+"""
+
+from __future__ import annotations
+
+from repro.dutycycle.schedule import WakeupSchedule
+
+__all__ = ["cycle_waiting_time", "expected_cwt", "max_cwt"]
+
+
+def cycle_waiting_time(
+    schedule: WakeupSchedule, u: int, v: int, slot: int
+) -> int:
+    """CWT from ``u`` sending at ``slot`` until ``v`` can forward.
+
+    ``slot`` should be a sending slot of ``u`` (the function does not check
+    this so it can also be used for what-if queries).  The result is at
+    least 1: even if ``v`` wakes in the very next slot, one slot elapses.
+    """
+    if slot < 1:
+        raise ValueError(f"slots are 1-based, got {slot}")
+    next_v = schedule.next_active_slot(v, slot + 1)
+    return next_v - slot
+
+
+def expected_cwt(rate: int) -> float:
+    """The expected CWT under a uniform-random wake-up slot per cycle.
+
+    Used as the proactive (pre-broadcast) weight in the asynchronous
+    E-model construction, where the actual send slot is not yet known:
+    on average the successor's next wake-up is ``(r + 1) / 2`` slots away.
+    """
+    if rate < 1:
+        raise ValueError(f"cycle rate must be >= 1, got {rate}")
+    return (rate + 1) / 2.0
+
+
+def max_cwt(rate: int) -> int:
+    """Worst-case CWT for one hop (Theorem 1 uses ``2r``).
+
+    The successor may have woken just before the sender's slot and then be
+    scheduled last in its next cycle, so the wait is bounded by two cycles.
+    """
+    if rate < 1:
+        raise ValueError(f"cycle rate must be >= 1, got {rate}")
+    return 2 * rate

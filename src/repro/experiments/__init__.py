@@ -1,0 +1,39 @@
+"""Evaluation harness regenerating every table and figure of Section V."""
+
+from repro.experiments.config import (
+    PAPER_SWEEP,
+    QUICK_SWEEP,
+    ExperimentScale,
+    SweepConfig,
+    sweep_from_env,
+)
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.runner import RunRecord, SweepResult, run_sweep
+from repro.experiments.tables import table2, table3, table4
+from repro.experiments.report import summary_claims
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER_SWEEP",
+    "QUICK_SWEEP",
+    "RunRecord",
+    "SweepConfig",
+    "SweepResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "run_sweep",
+    "summary_claims",
+    "sweep_from_env",
+    "table2",
+    "table3",
+    "table4",
+]

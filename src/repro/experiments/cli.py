@@ -1,0 +1,132 @@
+"""Command-line interface: regenerate any figure or table of the paper.
+
+Examples
+--------
+Regenerate Figure 3 at the quick scale and print it as a text table::
+
+    mlbs-experiments figure3
+
+Regenerate every figure at the paper's full scale and write CSVs::
+
+    mlbs-experiments all --scale paper --csv-dir results/
+
+The same entry point is reachable with ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.experiments import figures as figures_mod
+from repro.experiments import tables as tables_mod
+from repro.experiments.config import PAPER_SWEEP, QUICK_SWEEP, SweepConfig
+from repro.experiments.report import claims_to_text, summary_claims
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "figure3": figures_mod.figure3,
+    "figure4": figures_mod.figure4,
+    "figure5": figures_mod.figure5,
+    "figure6": figures_mod.figure6,
+    "figure7": figures_mod.figure7,
+}
+_TABLES = {
+    "table2": tables_mod.table2,
+    "table3": tables_mod.table3,
+    "table4": tables_mod.table4,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="mlbs-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Minimum Latency Broadcasting "
+            "with Conflict Awareness in WSNs' (ICPP 2012)."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        choices=[*_FIGURES, *_TABLES, "claims", "all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "paper"],
+        default=None,
+        help="sweep scale (default: REPRO_BENCH_SCALE or 'quick')",
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="override the number of deployments per node count",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also write each result as CSV into this directory",
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> SweepConfig:
+    if args.scale == "paper":
+        config = PAPER_SWEEP
+    elif args.scale == "quick":
+        config = QUICK_SWEEP
+    else:
+        scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+        config = PAPER_SWEEP if scale == "paper" else QUICK_SWEEP
+    if args.repetitions is not None:
+        config = config.with_repetitions(args.repetitions)
+    return config
+
+
+def _emit(name: str, text: str, csv: str | None, csv_dir: Path | None) -> None:
+    print(text)
+    print()
+    if csv_dir is not None and csv is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        path = csv_dir / f"{name}.csv"
+        path.write_text(csv)
+        print(f"[wrote {path}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    config = _config_from_args(args)
+
+    targets = (
+        [args.target]
+        if args.target != "all"
+        else [*_FIGURES, *_TABLES, "claims"]
+    )
+    fig_cache: dict[str, figures_mod.FigureResult] = {}
+
+    for target in targets:
+        if target in _FIGURES:
+            result = _FIGURES[target](config)
+            fig_cache[target] = result
+            _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+        elif target in _TABLES:
+            table = _TABLES[target]()
+            _emit(target, table.to_text(), None, args.csv_dir)
+        elif target == "claims":
+            fig3 = fig_cache.get("figure3") or figures_mod.figure3(config)
+            fig4 = fig_cache.get("figure4") or figures_mod.figure4(config)
+            fig6 = fig_cache.get("figure6") or figures_mod.figure6(config)
+            checks = summary_claims(fig3, fig4, fig6)
+            _emit("claims", claims_to_text(checks), None, args.csv_dir)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Experiment configurations matching the paper's simulation setting.
+
+Section V-A: 50-300 nodes with a 10-foot communication radius are deployed
+uniformly over a 50 x 50 sq-ft area (densities 0.02-0.12 nodes/sq-ft); the
+source is chosen with a hop distance of 5-8 to the farthest node; the
+duty-cycle experiments use cycle rates ``r = 10`` and ``r = 50`` (a 2% duty
+cycle).
+
+Two scales are provided:
+
+* :data:`PAPER_SWEEP` — the full parameterisation above (used when the
+  environment variable ``REPRO_BENCH_SCALE=paper`` is set, or explicitly).
+* :data:`QUICK_SWEEP` — a reduced sweep (three node counts, two repetitions,
+  narrower beam) that keeps the benchmark suite's wall-clock time small
+  while preserving every qualitative comparison; this is the default for
+  ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.core.time_counter import SearchConfig
+from repro.utils.validation import require
+
+__all__ = [
+    "ExperimentScale",
+    "SweepConfig",
+    "PAPER_SWEEP",
+    "QUICK_SWEEP",
+    "sweep_from_env",
+    "SCALE_ENV_VAR",
+]
+
+#: Environment variable selecting the benchmark scale ("quick" or "paper").
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+class ExperimentScale(str, Enum):
+    """Named experiment scales selectable via :data:`SCALE_ENV_VAR`."""
+
+    QUICK = "quick"
+    PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of one figure-style sweep.
+
+    Attributes
+    ----------
+    node_counts:
+        Numbers of deployed nodes (the x-axis of Figures 3-7 once divided by
+        the area).
+    area_side, radius:
+        Deployment area side (ft) and communication radius (ft).
+    repetitions:
+        Independent deployments per node count; figures report the mean.
+    seed:
+        Base seed; every (node count, repetition) pair derives its own seed.
+    source_min_ecc, source_max_ecc:
+        Source eccentricity range (hops), per Section V-A.
+    search:
+        Search configuration of the time-counter policies (OPT / G-OPT).
+    max_color_classes:
+        Enumeration cap of the OPT policy's admissible colours.
+    duty_rates:
+        Cycle rates used by the duty-cycle figures (10 = heavy, 50 = light).
+    """
+
+    node_counts: tuple[int, ...] = (50, 100, 150, 200, 250, 300)
+    area_side: float = 50.0
+    radius: float = 10.0
+    repetitions: int = 5
+    seed: int = 2012
+    source_min_ecc: int = 5
+    source_max_ecc: int | None = 8
+    search: SearchConfig = field(
+        default_factory=lambda: SearchConfig(mode="beam", beam_width=8)
+    )
+    max_color_classes: int | None = 32
+    duty_rates: tuple[int, ...] = (10, 50)
+
+    def __post_init__(self) -> None:
+        require(len(self.node_counts) > 0, "node_counts must not be empty")
+        require(all(n >= 2 for n in self.node_counts), "node counts must be >= 2")
+        require(self.repetitions >= 1, "repetitions must be >= 1")
+
+    @property
+    def densities(self) -> tuple[float, ...]:
+        """Nodes per sq-ft per node count (the paper's x-axis)."""
+        area = self.area_side * self.area_side
+        return tuple(n / area for n in self.node_counts)
+
+    def with_repetitions(self, repetitions: int) -> "SweepConfig":
+        """A copy with a different repetition count."""
+        return replace(self, repetitions=repetitions)
+
+
+#: The paper's full parameterisation (Section V-A).
+PAPER_SWEEP = SweepConfig()
+
+#: A reduced sweep for fast benchmark runs (same qualitative comparisons).
+QUICK_SWEEP = SweepConfig(
+    node_counts=(50, 100, 150),
+    repetitions=2,
+    search=SearchConfig(mode="beam", beam_width=4),
+    max_color_classes=16,
+)
+
+
+def sweep_from_env(default: ExperimentScale = ExperimentScale.QUICK) -> SweepConfig:
+    """Pick the sweep configuration from :data:`SCALE_ENV_VAR`.
+
+    Unknown values fall back to ``default`` (quick) so that a typo never
+    silently triggers an hour-long benchmark run.
+    """
+    raw = os.environ.get(SCALE_ENV_VAR, default.value).strip().lower()
+    if raw == ExperimentScale.PAPER.value:
+        return PAPER_SWEEP
+    return QUICK_SWEEP

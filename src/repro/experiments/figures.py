@@ -1,0 +1,198 @@
+"""Generators for the paper's Figures 3-7.
+
+Each generator returns a :class:`FigureResult` holding exactly the series the
+paper plots: density (nodes per sq-ft) on the x-axis and the end-to-end
+latency ``P(A)`` (rounds for Figure 3, slots for Figures 4-7) on the y-axis,
+one series per scheduler or analytical bound.  The benchmark modules under
+``benchmarks/`` call these generators and assert the qualitative shape; the
+CLI (``python -m repro.experiments``) prints them as text tables / CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bounds import (
+    duty_cycle_17_bound,
+    duty_cycle_opt_bound,
+    sync_opt_bound,
+)
+from repro.dutycycle.cwt import max_cwt
+from repro.experiments.config import SweepConfig, sweep_from_env
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.utils.format import format_series_table, to_csv
+
+__all__ = [
+    "FigureResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: x values plus one y series per curve."""
+
+    name: str
+    title: str
+    x_label: str
+    x_values: tuple[float, ...]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    y_label: str = "P(A)"
+    sweep: SweepResult | None = None
+
+    def to_text(self) -> str:
+        """The figure as an aligned text table (one row per density)."""
+        header = f"{self.name}: {self.title}  [y = {self.y_label}]"
+        table = format_series_table(self.x_label, list(self.x_values), self.series)
+        return f"{header}\n{table}"
+
+    def to_csv(self) -> str:
+        """The figure as CSV (columns: x, one per series)."""
+        headers = [self.x_label, *self.series.keys()]
+        rows = []
+        for index, x in enumerate(self.x_values):
+            rows.append([x, *(values[index] for values in self.series.values())])
+        return to_csv(headers, rows)
+
+    def series_for(self, name: str) -> list[float]:
+        """One named series (raises ``KeyError`` with the known names)."""
+        try:
+            return self.series[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown series {name!r}; available: {sorted(self.series)}"
+            ) from None
+
+
+def _densities(config: SweepConfig) -> tuple[float, ...]:
+    return config.densities
+
+
+def figure3(config: SweepConfig | None = None) -> FigureResult:
+    """Figure 3: ``P(A)`` in the round-based synchronous system.
+
+    Series: 26-approximation, OPT, G-OPT, E-model (simulated) and
+    OPT-analysis (the Theorem-1 bound ``d + 2`` averaged over deployments).
+    """
+    config = config or sweep_from_env()
+    sweep = run_sweep(config, system="sync")
+    series = sweep.latency_series(["26-approx", "OPT", "G-OPT", "E-model"])
+    series["OPT-analysis"] = [
+        sync_opt_bound(round(d)) + 1 for d in sweep.eccentricity_series()
+    ]
+    return FigureResult(
+        name="Figure 3",
+        title="End-to-end delay in the round-based synchronous system",
+        x_label="density (nodes/sq-ft)",
+        x_values=_densities(config),
+        series=series,
+        y_label="P(A) [rounds]",
+        sweep=sweep,
+    )
+
+
+def _duty_experiment(config: SweepConfig, rate: int, name: str, title: str) -> FigureResult:
+    sweep = run_sweep(config, system="duty", rate=rate)
+    series = sweep.latency_series(["17-approx", "OPT", "G-OPT", "E-model"])
+    return FigureResult(
+        name=name,
+        title=title,
+        x_label="density (nodes/sq-ft)",
+        x_values=_densities(config),
+        series=series,
+        y_label="P(A) [slots]",
+        sweep=sweep,
+    )
+
+
+def _duty_bounds(
+    config: SweepConfig, rate: int, name: str, title: str, sweep: SweepResult | None
+) -> FigureResult:
+    """Analytical upper bounds (Theorem 1 vs the 17kd baseline bound)."""
+    if sweep is None:
+        # Only the deployments' eccentricities are needed; running the cheap
+        # E-model alone keeps this fast while reusing the same deployments.
+        from repro.core.policies import EModelPolicy  # local import to avoid cycle
+
+        sweep = run_sweep(
+            config,
+            system="duty",
+            rate=rate,
+            policies={"E-model": EModelPolicy},
+        )
+    eccentricities = sweep.eccentricity_series()
+    series = {
+        "OPT-analysis (2r(d+2))": [
+            float(duty_cycle_opt_bound(rate, round(d))) for d in eccentricities
+        ],
+        "17-approx bound (17kd)": [
+            float(duty_cycle_17_bound(round(d), max_cwt(rate))) for d in eccentricities
+        ],
+    }
+    return FigureResult(
+        name=name,
+        title=title,
+        x_label="density (nodes/sq-ft)",
+        x_values=_densities(config),
+        series=series,
+        y_label="P(A) upper bound [slots]",
+        sweep=sweep,
+    )
+
+
+def figure4(config: SweepConfig | None = None) -> FigureResult:
+    """Figure 4: experimental ``P(A)`` in the duty-cycle system, ``r = 10``."""
+    config = config or sweep_from_env()
+    return _duty_experiment(
+        config,
+        rate=10,
+        name="Figure 4",
+        title="End-to-end delay in the duty-cycle system (r = 10)",
+    )
+
+
+def figure5(
+    config: SweepConfig | None = None, sweep: SweepResult | None = None
+) -> FigureResult:
+    """Figure 5: analytical ``P(A)`` upper bounds, duty cycle ``r = 10``.
+
+    ``sweep`` may be the result attached to :func:`figure4` to reuse its
+    deployments (the bounds only depend on the eccentricities).
+    """
+    config = config or sweep_from_env()
+    return _duty_bounds(
+        config,
+        rate=10,
+        name="Figure 5",
+        title="Analytical upper bounds in the duty-cycle system (r = 10)",
+        sweep=sweep,
+    )
+
+
+def figure6(config: SweepConfig | None = None) -> FigureResult:
+    """Figure 6: experimental ``P(A)`` in the light duty-cycle system, ``r = 50``."""
+    config = config or sweep_from_env()
+    return _duty_experiment(
+        config,
+        rate=50,
+        name="Figure 6",
+        title="End-to-end delay in the light duty-cycle system (r = 50)",
+    )
+
+
+def figure7(
+    config: SweepConfig | None = None, sweep: SweepResult | None = None
+) -> FigureResult:
+    """Figure 7: analytical ``P(A)`` upper bounds, duty cycle ``r = 50``."""
+    config = config or sweep_from_env()
+    return _duty_bounds(
+        config,
+        rate=50,
+        name="Figure 7",
+        title="Analytical upper bounds in the light duty-cycle system (r = 50)",
+        sweep=sweep,
+    )

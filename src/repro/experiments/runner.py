@@ -1,0 +1,241 @@
+"""Sweep runner: deploy, broadcast under every scheduler, collect records.
+
+One *sweep* fixes the system model (round-based or duty-cycle with a given
+cycle rate) and runs every scheduler on the same sequence of deployments so
+the comparison is paired, exactly like the paper's simulator: for each node
+count and repetition a deployment is generated, the source is selected, and
+each policy broadcasts from the same source over the same topology (and, in
+the duty-cycle system, the same wake-up schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.baselines.approx17 import Approx17Policy
+from repro.baselines.approx26 import Approx26Policy
+from repro.core.policies import EModelPolicy, GreedyOptPolicy, OptPolicy, SchedulingPolicy
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.experiments.config import SweepConfig
+from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.sim.broadcast import run_broadcast
+from repro.sim.metrics import aggregate_latency
+from repro.utils.rng import derive_seed
+
+__all__ = ["RunRecord", "SweepResult", "run_sweep", "default_policies"]
+
+PolicyFactory = Callable[[], SchedulingPolicy]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One broadcast of one policy on one deployment."""
+
+    policy: str
+    system: str
+    rate: int
+    num_nodes: int
+    density: float
+    repetition: int
+    seed: int
+    source: int
+    eccentricity: int
+    latency: int
+    end_time: int
+    num_advances: int
+    total_transmissions: int
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep plus convenience accessors for figure series."""
+
+    system: str
+    rate: int
+    config: SweepConfig
+    records: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def policies(self) -> list[str]:
+        """Policy names present, in first-appearance order."""
+        seen: list[str] = []
+        for record in self.records:
+            if record.policy not in seen:
+                seen.append(record.policy)
+        return seen
+
+    def records_for(self, policy: str, num_nodes: int | None = None) -> list[RunRecord]:
+        """Records of one policy (optionally restricted to a node count)."""
+        return [
+            r
+            for r in self.records
+            if r.policy == policy and (num_nodes is None or r.num_nodes == num_nodes)
+        ]
+
+    def mean_latency(self, policy: str, num_nodes: int) -> float:
+        """Mean latency of ``policy`` over the repetitions at ``num_nodes``."""
+        values = [r.latency for r in self.records_for(policy, num_nodes)]
+        return aggregate_latency(values)["mean"]
+
+    def latency_series(self, policies: Sequence[str] | None = None) -> dict[str, list[float]]:
+        """Mean latency per node count for each policy (figure series)."""
+        chosen = list(policies) if policies is not None else self.policies
+        return {
+            policy: [self.mean_latency(policy, n) for n in self.config.node_counts]
+            for policy in chosen
+        }
+
+    def eccentricity_series(self) -> list[float]:
+        """Mean source eccentricity ``d`` per node count (for bound curves)."""
+        series: list[float] = []
+        for n in self.config.node_counts:
+            values = {
+                (r.repetition): r.eccentricity
+                for r in self.records
+                if r.num_nodes == n
+            }
+            series.append(sum(values.values()) / max(len(values), 1))
+        return series
+
+    def to_rows(self) -> list[list[object]]:
+        """Flat rows (one per record) for CSV export."""
+        return [
+            [
+                r.policy,
+                r.system,
+                r.rate,
+                r.num_nodes,
+                f"{r.density:.4f}",
+                r.repetition,
+                r.seed,
+                r.source,
+                r.eccentricity,
+                r.latency,
+                r.end_time,
+                r.num_advances,
+                r.total_transmissions,
+            ]
+            for r in self.records
+        ]
+
+    ROW_HEADERS = (
+        "policy",
+        "system",
+        "rate",
+        "num_nodes",
+        "density",
+        "repetition",
+        "seed",
+        "source",
+        "eccentricity",
+        "latency",
+        "end_time",
+        "num_advances",
+        "total_transmissions",
+    )
+
+
+def default_policies(
+    config: SweepConfig, system: str
+) -> dict[str, PolicyFactory]:
+    """The paper's scheduler line-up for the given system model.
+
+    Round-based: 26-approximation, OPT, G-OPT, E-model (Figure 3).
+    Duty-cycle: 17-approximation, OPT, G-OPT, E-model (Figures 4 and 6).
+    """
+    if system == "sync":
+        return {
+            "26-approx": Approx26Policy,
+            "OPT": lambda: OptPolicy(
+                search=config.search, max_color_classes=config.max_color_classes
+            ),
+            "G-OPT": lambda: GreedyOptPolicy(search=config.search),
+            "E-model": EModelPolicy,
+        }
+    if system == "duty":
+        return {
+            "17-approx": Approx17Policy,
+            "OPT": lambda: OptPolicy(
+                search=config.search, max_color_classes=config.max_color_classes
+            ),
+            "G-OPT": lambda: GreedyOptPolicy(search=config.search),
+            "E-model": EModelPolicy,
+        }
+    raise ValueError(f"unknown system {system!r}; expected 'sync' or 'duty'")
+
+
+def run_sweep(
+    config: SweepConfig,
+    *,
+    system: str = "sync",
+    rate: int = 10,
+    policies: Mapping[str, PolicyFactory] | None = None,
+) -> SweepResult:
+    """Run the full sweep and return the collected records.
+
+    Parameters
+    ----------
+    config:
+        Sweep parameterisation (node counts, repetitions, area, radius, ...).
+    system:
+        ``"sync"`` for the round-based system, ``"duty"`` for the duty-cycle
+        system (which also generates a wake-up schedule per deployment).
+    rate:
+        Cycle rate ``r`` for the duty-cycle system (ignored for ``"sync"``).
+    policies:
+        Mapping ``name -> factory``; defaults to the paper's line-up.
+    """
+    if policies is None:
+        policies = default_policies(config, system)
+    effective_rate = 1 if system == "sync" else rate
+    result = SweepResult(system=system, rate=effective_rate, config=config)
+    area = config.area_side * config.area_side
+
+    for num_nodes in config.node_counts:
+        for repetition in range(config.repetitions):
+            seed = derive_seed(config.seed, system, effective_rate, num_nodes, repetition)
+            deployment_config = DeploymentConfig(
+                num_nodes=num_nodes,
+                area_side=config.area_side,
+                radius=config.radius,
+                source_min_ecc=config.source_min_ecc,
+                source_max_ecc=config.source_max_ecc,
+            )
+            topology, source = deploy_uniform(config=deployment_config, seed=seed)
+            schedule = None
+            if system == "duty":
+                schedule = WakeupSchedule(
+                    topology.node_ids,
+                    rate=rate,
+                    seed=derive_seed(seed, "wakeup-schedule"),
+                )
+            eccentricity = topology.eccentricity(source)
+
+            for name, factory in policies.items():
+                policy = factory()
+                trace = run_broadcast(
+                    topology,
+                    source,
+                    policy,
+                    schedule=schedule,
+                    align_start=system == "duty",
+                )
+                result.records.append(
+                    RunRecord(
+                        policy=name,
+                        system=system,
+                        rate=effective_rate,
+                        num_nodes=num_nodes,
+                        density=num_nodes / area,
+                        repetition=repetition,
+                        seed=seed,
+                        source=source,
+                        eccentricity=eccentricity,
+                        latency=trace.latency,
+                        end_time=trace.end_time,
+                        num_advances=trace.num_advances,
+                        total_transmissions=trace.total_transmissions,
+                    )
+                )
+    return result

@@ -1,0 +1,39 @@
+"""WSN topology substrate: unit-disc graphs, deployments, quadrants, boundary."""
+
+from repro.network.boundary import boundary_nodes, hull_nodes
+from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.network.geometry import convex_hull, euclidean_distance
+from repro.network.graphs import (
+    figure1_topology,
+    figure2_duty_schedule,
+    figure2_topology,
+)
+from repro.network.interference import (
+    conflict_free,
+    conflicting_pairs,
+    has_conflict,
+    receivers_of,
+)
+from repro.network.quadrant import QUADRANTS, quadrant_index, quadrant_neighbors
+from repro.network.topology import Node, WSNTopology
+
+__all__ = [
+    "DeploymentConfig",
+    "Node",
+    "QUADRANTS",
+    "WSNTopology",
+    "boundary_nodes",
+    "conflict_free",
+    "conflicting_pairs",
+    "convex_hull",
+    "deploy_uniform",
+    "euclidean_distance",
+    "figure1_topology",
+    "figure2_duty_schedule",
+    "figure2_topology",
+    "has_conflict",
+    "hull_nodes",
+    "quadrant_index",
+    "quadrant_neighbors",
+    "receivers_of",
+]

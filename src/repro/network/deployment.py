@@ -1,0 +1,193 @@
+"""Random uniform deployments matching the paper's simulation setting.
+
+Section V-A: "50~300 nodes, with a communication radius of 10 feet, are
+deployed uniformly to cover an interest area of 50 x 50 Sq. Ft., creating
+different densities (nodes per Sq. Ft.) ranging from 0.02 to 0.12.  The
+source is randomly selected with a distance of 5~8 hops to the farthest
+node."
+
+:func:`deploy_uniform` reproduces this generator: it samples node positions
+uniformly at random in the square, rejects disconnected deployments, and
+picks a source node whose eccentricity falls in the requested hop range
+(retrying with fresh positions when no such source exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.topology import WSNTopology
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive, require
+
+__all__ = ["DeploymentConfig", "deploy_uniform", "DeploymentError"]
+
+
+class DeploymentError(RuntimeError):
+    """Raised when no deployment satisfying the constraints can be generated."""
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Parameters of the paper's deployment generator.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of sensor nodes to place.
+    area_side:
+        Side length of the square deployment area (feet). Paper: 50.
+    radius:
+        Communication radius (feet). Paper: 10.
+    source_min_ecc, source_max_ecc:
+        Acceptable range for the hop distance from the source to the
+        farthest node (the paper samples sources with eccentricity 5-8).
+        Set ``source_min_ecc=0`` and ``source_max_ecc=None`` to accept any
+        source.
+    max_attempts:
+        Number of full re-deployments attempted before giving up.
+    """
+
+    num_nodes: int
+    area_side: float = 50.0
+    radius: float = 10.0
+    source_min_ecc: int = 5
+    source_max_ecc: int | None = 8
+    max_attempts: int = 200
+
+    def __post_init__(self) -> None:
+        require(self.num_nodes >= 2, f"num_nodes must be >= 2, got {self.num_nodes}")
+        check_positive("area_side", self.area_side)
+        check_positive("radius", self.radius)
+        require(self.source_min_ecc >= 0, "source_min_ecc must be >= 0")
+        if self.source_max_ecc is not None:
+            require(
+                self.source_max_ecc >= self.source_min_ecc,
+                "source_max_ecc must be >= source_min_ecc",
+            )
+        require(self.max_attempts >= 1, "max_attempts must be >= 1")
+
+    @property
+    def density(self) -> float:
+        """Nodes per square foot, the x-axis of the paper's figures."""
+        return self.num_nodes / (self.area_side * self.area_side)
+
+
+@dataclass
+class Deployment:
+    """A generated deployment: the topology plus the selected source."""
+
+    topology: WSNTopology
+    source: int
+    config: DeploymentConfig
+    attempts: int = field(default=1)
+
+    @property
+    def eccentricity(self) -> int:
+        """Hop distance from the source to the farthest node (``d``)."""
+        return self.topology.eccentricity(self.source)
+
+
+def _candidate_sources(topology: WSNTopology, config: DeploymentConfig) -> list[int]:
+    """Node ids whose eccentricity lies in the configured range."""
+    candidates = []
+    for u in topology.node_ids:
+        ecc = topology.eccentricity(u)
+        if ecc < config.source_min_ecc:
+            continue
+        if config.source_max_ecc is not None and ecc > config.source_max_ecc:
+            continue
+        candidates.append(u)
+    return candidates
+
+
+def deploy_uniform(
+    num_nodes: int | None = None,
+    *,
+    config: DeploymentConfig | None = None,
+    seed: int | None = None,
+    return_deployment: bool = False,
+) -> tuple[WSNTopology, int] | Deployment:
+    """Generate a connected uniform deployment with a valid source.
+
+    Parameters
+    ----------
+    num_nodes:
+        Shorthand for ``DeploymentConfig(num_nodes=...)`` with paper defaults.
+    config:
+        Full deployment configuration (overrides ``num_nodes``).
+    seed:
+        Seed for reproducibility.
+    return_deployment:
+        When True, return the richer :class:`Deployment` record; otherwise
+        return the ``(topology, source)`` pair.
+
+    Raises
+    ------
+    DeploymentError
+        If no connected deployment with an eligible source is found within
+        ``config.max_attempts`` attempts.
+    """
+    if config is None:
+        if num_nodes is None:
+            raise ValueError("either num_nodes or config must be provided")
+        config = DeploymentConfig(num_nodes=num_nodes)
+    rng = make_rng(seed)
+
+    last_error = "no attempt made"
+    for attempt in range(1, config.max_attempts + 1):
+        positions = rng.uniform(0.0, config.area_side, size=(config.num_nodes, 2))
+        topology = WSNTopology.from_positions(positions, radius=config.radius)
+        if not topology.is_connected():
+            last_error = "deployment disconnected"
+            continue
+        candidates = _candidate_sources(topology, config)
+        if not candidates:
+            last_error = (
+                "no node with eccentricity in "
+                f"[{config.source_min_ecc}, {config.source_max_ecc}]"
+            )
+            continue
+        source = int(candidates[int(rng.integers(len(candidates)))])
+        deployment = Deployment(
+            topology=topology, source=source, config=config, attempts=attempt
+        )
+        if return_deployment:
+            return deployment
+        return topology, source
+
+    raise DeploymentError(
+        f"failed to generate a deployment after {config.max_attempts} attempts "
+        f"({last_error}); consider relaxing the eccentricity range or density"
+    )
+
+
+def grid_deployment(
+    rows: int,
+    cols: int,
+    *,
+    spacing: float = 1.0,
+    radius: float = 1.5,
+    jitter: float = 0.0,
+    seed: int | None = None,
+) -> WSNTopology:
+    """A regular grid deployment (used by tests and ablation benchmarks).
+
+    With ``radius`` between ``spacing`` and ``spacing * sqrt(2)`` the grid is
+    4-connected; above ``spacing * sqrt(2)`` it becomes 8-connected.  A small
+    positional ``jitter`` breaks ties in the quadrant partition.
+    """
+    require(rows >= 1 and cols >= 1, "rows and cols must be >= 1")
+    check_positive("spacing", spacing)
+    check_positive("radius", radius)
+    rng = make_rng(seed)
+    positions = []
+    for r in range(rows):
+        for c in range(cols):
+            dx = dy = 0.0
+            if jitter > 0:
+                dx, dy = rng.uniform(-jitter, jitter, size=2)
+            positions.append((c * spacing + dx, r * spacing + dy))
+    return WSNTopology.from_positions(np.asarray(positions), radius=radius)

@@ -1,0 +1,164 @@
+"""The paper's example topologies (Figures 1 and 2) as ready-made fixtures.
+
+These small hand-specified topologies are used throughout the paper to
+motivate and illustrate the pipeline colour schedule, and by Tables II-IV to
+walk through the time counter ``M``.  The adjacency below is reconstructed
+from every concrete statement in the paper text (which node sets each relay
+reaches in Tables II/III, the interference points called out in Section II,
+the hop distances in Figure 1(a)); positions are chosen so the quadrant
+structure reproduces the E-model behaviour described in Section IV-E (node 1
+holds the largest estimate among the source's relay candidates).
+
+Reconstruction notes (Figure 1)
+-------------------------------
+* ``N(s) = {0, 1, 2}`` and all three candidates conflict pairwise at node 3.
+* Selecting node 0 first covers ``{3, 5, 6, 7}`` and leaves ``{4, 8, 9, 10}``
+  with no one-step completion (the relays reaching 8 and 10 conflict at 4),
+  for a total of 4 rounds — the paper's Figure 1(b).
+* Selecting node 1 first covers ``{3, 4, 10}``; nodes 0 and 4 then relay
+  concurrently (interference-free) to finish ``{5, 6, 7, 8, 9}`` in one more
+  round, i.e. ``P(A) = 3`` — the paper's Figure 1(c) / Table III headline.
+* Nodes 8 and 9 are the farthest from the source (3 hops), matching
+  Figure 1(a).
+* In the propagation quadrant the edge estimates order as in the paper's
+  example (``E(7) = E(8) = E(9) = 0 < E(0), E(4), E(10) < E(1) = 2``); the
+  paper labels that quadrant "2" for its drawing orientation, our layout
+  propagates towards +x so the same values appear in quadrant 1.
+
+Reconstruction notes (Figure 2 / Tables II and IV)
+--------------------------------------------------
+* ``N = {1..5}``, source 1, edges 1-2, 1-3, 2-4, 2-5, 3-4; nodes 2 and 3
+  conflict at node 4.
+* Round-based optimum: 2 rounds (Table II).  Selecting node 3 at round 2
+  defers the broadcast to 3 rounds — Figure 2(b) vs 2(c).
+* Duty-cycle example (Figure 2(e)/Table IV): with the explicit wake-up
+  schedule below and start slot 2, the optimum is ``P(A) = 4`` and choosing
+  node 3 at slot 4 instead postpones completion past slot ``r + 3``.
+"""
+
+from __future__ import annotations
+
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.topology import WSNTopology
+
+__all__ = [
+    "FIGURE1_SOURCE",
+    "FIGURE2_SOURCE",
+    "figure1_topology",
+    "figure2_topology",
+    "figure2_duty_schedule",
+    "FIGURE2_DUTY_START",
+    "FIGURE2_DUTY_RATE",
+]
+
+#: Node id used for the source ``s`` of Figure 1 (the paper labels it "s").
+FIGURE1_SOURCE: int = 11
+
+#: Source node of Figure 2 (the paper's ``u1``).
+FIGURE2_SOURCE: int = 1
+
+#: Start slot ``t_s`` of the Figure 2(e)/Table IV duty-cycle example.
+FIGURE2_DUTY_START: int = 2
+
+#: Cycle rate used in the Figure 2(e)/Table IV example schedule.
+FIGURE2_DUTY_RATE: int = 10
+
+
+_FIGURE1_POSITIONS: dict[int, tuple[float, float]] = {
+    FIGURE1_SOURCE: (0.0, 2.0),
+    0: (1.0, 2.4),
+    1: (1.2, 1.8),
+    2: (1.0, 0.6),
+    3: (2.4, 2.6),
+    4: (3.8, 1.6),
+    5: (2.2, 4.4),
+    6: (3.4, 3.6),
+    7: (1.4, 4.6),
+    8: (5.2, 2.2),
+    9: (4.8, 3.0),
+    10: (3.2, 0.4),
+}
+
+_FIGURE1_EDGES: tuple[tuple[int, int], ...] = (
+    (FIGURE1_SOURCE, 0),
+    (FIGURE1_SOURCE, 1),
+    (FIGURE1_SOURCE, 2),
+    (0, 3),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (1, 3),
+    (1, 4),
+    (1, 10),
+    (2, 3),
+    (3, 4),
+    (3, 6),
+    (3, 8),
+    (3, 9),
+    (4, 8),
+    (4, 9),
+    (4, 10),
+    (5, 6),
+    (6, 9),
+    (8, 9),
+    (8, 10),
+)
+
+
+def figure1_topology() -> WSNTopology:
+    """The 12-node motivating example of the paper's Figure 1.
+
+    Returns a topology whose source is :data:`FIGURE1_SOURCE`.  The optimal
+    conflict-aware schedule completes in 3 rounds (Table III); the greedy
+    "most receivers first" choice (node 0) needs 4 rounds; the BFS
+    layer-synchronised baseline needs 5.
+    """
+    return WSNTopology.from_edges(_FIGURE1_EDGES, _FIGURE1_POSITIONS)
+
+
+_FIGURE2_POSITIONS: dict[int, tuple[float, float]] = {
+    1: (0.0, 1.0),
+    2: (1.0, 1.6),
+    3: (1.0, 0.4),
+    4: (2.0, 1.0),
+    5: (2.0, 2.0),
+}
+
+_FIGURE2_EDGES: tuple[tuple[int, int], ...] = (
+    (1, 2),
+    (1, 3),
+    (2, 4),
+    (2, 5),
+    (3, 4),
+)
+
+
+def figure2_topology() -> WSNTopology:
+    """The 5-node example of the paper's Figure 2 (source = node 1).
+
+    Nodes 2 and 3 conflict at node 4.  The round-based optimum is
+    ``P(A) = 2`` (Table II, selecting node 2 at round 2); selecting node 3
+    instead defers completion to round 3 (Figure 2(b)).
+    """
+    return WSNTopology.from_edges(_FIGURE2_EDGES, _FIGURE2_POSITIONS)
+
+
+def figure2_duty_schedule() -> WakeupSchedule:
+    """The explicit wake-up schedule of the Figure 2(e)/Table IV example.
+
+    Cycle rate ``r = 10``; the source (node 1) wakes at slot 2, nodes 2 and
+    3 both wake at slot 4 (and again a cycle later), nodes 4 and 5 later in
+    the cycle.  With start slot :data:`FIGURE2_DUTY_START` the optimal
+    schedule finishes at slot 4 (``P(A) = 4``): slot 2 source transmits,
+    slot 3 idle, slot 4 node 2 relays to {4, 5}.  Deferring to node 3 at
+    slot 4 forces a wait for node 2's next cycle, i.e. far beyond slot 4 —
+    the ``>> 4`` entry of Table IV.
+    """
+    explicit = {
+        1: [2, 12],
+        2: [4, 14],
+        3: [4, 14],
+        4: [6, 16],
+        5: [8, 18],
+    }
+    return WakeupSchedule.from_explicit(explicit, rate=FIGURE2_DUTY_RATE)

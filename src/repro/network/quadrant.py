@@ -1,0 +1,74 @@
+"""Quadrant partition ``Q_i(u)`` used by the E-model (Section IV-E).
+
+The paper's lightweight estimation attaches a 4-tuple ``E_1(u)..E_4(u)`` to
+every node, one entry per quadrant with ``u`` as the origin.  The partition
+convention used here is the usual counter-clockwise quadrant numbering with
+half-open boundaries so that every neighbour falls in exactly one quadrant:
+
+* ``Q_1(u)``: ``dx > 0  and dy >= 0``   (east to north, excluding north)
+* ``Q_2(u)``: ``dx <= 0 and dy > 0``    (north to west, excluding west)
+* ``Q_3(u)``: ``dx < 0  and dy <= 0``   (west to south, excluding south)
+* ``Q_4(u)``: ``dx >= 0 and dy < 0``    (south to east, excluding east)
+
+A node exactly at ``u``'s position would not belong to any quadrant; the
+deployment generator guarantees distinct positions and the example graphs are
+constructed accordingly, so this case is rejected loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.network.topology import WSNTopology
+
+__all__ = ["QUADRANTS", "quadrant_index", "quadrant_neighbors", "quadrant_partition"]
+
+#: The four quadrant labels, in the order used by the 4-tuple ``E``.
+QUADRANTS: tuple[int, int, int, int] = (1, 2, 3, 4)
+
+
+def quadrant_index(origin: tuple[float, float], point: tuple[float, float]) -> int:
+    """Return the quadrant (1-4) of ``point`` relative to ``origin``.
+
+    Raises
+    ------
+    ValueError
+        If ``point`` coincides with ``origin`` (no quadrant is defined).
+    """
+    dx = point[0] - origin[0]
+    dy = point[1] - origin[1]
+    if dx == 0.0 and dy == 0.0:
+        raise ValueError("point coincides with origin; quadrant undefined")
+    if dx > 0 and dy >= 0:
+        return 1
+    if dx <= 0 and dy > 0:
+        return 2
+    if dx < 0 and dy <= 0:
+        return 3
+    return 4
+
+
+def quadrant_neighbors(
+    topology: WSNTopology, node_id: int, quadrant: int
+) -> frozenset[int]:
+    """``N(u) ∩ Q_i(u)``: neighbours of ``node_id`` lying in ``quadrant``."""
+    if quadrant not in QUADRANTS:
+        raise ValueError(f"quadrant must be one of {QUADRANTS}, got {quadrant}")
+    origin = topology.position(node_id)
+    return frozenset(
+        v
+        for v in topology.neighbors(node_id)
+        if quadrant_index(origin, topology.position(v)) == quadrant
+    )
+
+
+def quadrant_partition(
+    topology: WSNTopology, node_id: int, candidates: Iterable[int] | None = None
+) -> dict[int, frozenset[int]]:
+    """Partition ``candidates`` (default: all neighbours) into the 4 quadrants."""
+    origin = topology.position(node_id)
+    pool = topology.neighbors(node_id) if candidates is None else candidates
+    buckets: dict[int, set[int]] = {q: set() for q in QUADRANTS}
+    for v in pool:
+        buckets[quadrant_index(origin, topology.position(v))].add(v)
+    return {q: frozenset(members) for q, members in buckets.items()}

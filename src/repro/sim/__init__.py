@@ -1,0 +1,37 @@
+"""Broadcast simulators: engines, traces, validation and metrics."""
+
+from repro.sim.broadcast import run_broadcast
+from repro.sim.energy import EnergyModel, EnergyReport, energy_of_broadcast
+from repro.sim.engine import RoundEngine, SimulationTimeout, SlotEngine
+from repro.sim.metrics import BroadcastMetrics, improvement_percent
+from repro.sim.render import render_schedule_timeline, render_topology_ascii
+from repro.sim.trace import BroadcastResult
+from repro.sim.unreliable import (
+    LossyRoundEngine,
+    LossySlotEngine,
+    reliability_sweep,
+    run_lossy_broadcast,
+)
+from repro.sim.validation import ScheduleViolation, assert_valid, validate_broadcast
+
+__all__ = [
+    "BroadcastMetrics",
+    "BroadcastResult",
+    "EnergyModel",
+    "EnergyReport",
+    "LossyRoundEngine",
+    "LossySlotEngine",
+    "RoundEngine",
+    "ScheduleViolation",
+    "SimulationTimeout",
+    "SlotEngine",
+    "assert_valid",
+    "energy_of_broadcast",
+    "improvement_percent",
+    "reliability_sweep",
+    "render_schedule_timeline",
+    "render_topology_ascii",
+    "run_broadcast",
+    "run_lossy_broadcast",
+    "validate_broadcast",
+]

@@ -1,0 +1,131 @@
+"""Per-broadcast energy accounting (the paper's §VII "energy saving" direction).
+
+The paper's duty-cycle model exists to save energy, and its conclusion lists
+energy-aware optimisation as future work.  This module attaches a simple but
+standard first-order radio energy model to a finished broadcast trace so the
+schedulers can also be compared on the energy they burn, not only on latency:
+
+* every transmission costs ``tx_cost``;
+* every node inside a transmitter's range pays ``rx_cost`` for receiving (or
+  overhearing) that transmission — the receiving channel is always on in the
+  paper's model, so overhearing cannot be avoided;
+* every node pays ``idle_cost`` per round/slot of the broadcast window when
+  it is not receiving (idle listening), and ``sleep_cost`` is kept for
+  completeness of the interface (the paper's nodes never switch the
+  receiving channel off, so it defaults to the idle cost).
+
+The absolute unit is irrelevant for comparisons; the defaults follow the
+usual CC1000/CC2420-class ratios (tx ≈ rx ≈ 20× idle listening).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.topology import WSNTopology
+from repro.sim.trace import BroadcastResult
+from repro.utils.validation import check_non_negative
+
+__all__ = ["EnergyModel", "EnergyReport", "energy_of_broadcast"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order radio energy model (arbitrary units per round/slot)."""
+
+    tx_cost: float = 20.0
+    rx_cost: float = 15.0
+    idle_cost: float = 1.0
+    sleep_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("tx_cost", self.tx_cost)
+        check_non_negative("rx_cost", self.rx_cost)
+        check_non_negative("idle_cost", self.idle_cost)
+        check_non_negative("sleep_cost", self.sleep_cost)
+
+
+@dataclass
+class EnergyReport:
+    """Energy spent by one broadcast, total and per node."""
+
+    model: EnergyModel
+    transmissions: int
+    receptions: int
+    idle_slots: int
+    per_node: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def transmission_energy(self) -> float:
+        """Energy spent on transmitting."""
+        return self.transmissions * self.model.tx_cost
+
+    @property
+    def reception_energy(self) -> float:
+        """Energy spent on receiving and overhearing."""
+        return self.receptions * self.model.rx_cost
+
+    @property
+    def idle_energy(self) -> float:
+        """Energy spent idle-listening during the broadcast window."""
+        return self.idle_slots * self.model.idle_cost
+
+    @property
+    def total(self) -> float:
+        """Total energy of the broadcast."""
+        return self.transmission_energy + self.reception_energy + self.idle_energy
+
+    def energy_per_node(self) -> float:
+        """Mean energy per node (0.0 for an empty network)."""
+        if not self.per_node:
+            return 0.0
+        return sum(self.per_node.values()) / len(self.per_node)
+
+    def hottest_node(self) -> tuple[int, float]:
+        """The node spending the most energy (relevant for lifetime)."""
+        node = max(self.per_node, key=lambda u: self.per_node[u])
+        return node, self.per_node[node]
+
+
+def energy_of_broadcast(
+    topology: WSNTopology,
+    result: BroadcastResult,
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Account the energy of ``result`` on ``topology`` under ``model``.
+
+    Receptions include overhearing: every neighbour of a transmitter is
+    charged one reception for that advance, whether or not it was still
+    waiting for the message (the paper's receiving channel is always on).
+    Idle listening is charged per node per round/slot of the broadcast
+    window in which the node did not receive anything.
+    """
+    model = model or EnergyModel()
+    per_node = {u: 0.0 for u in topology.node_ids}
+    transmissions = 0
+    receptions = 0
+    listening_events: dict[int, int] = {u: 0 for u in topology.node_ids}
+
+    for advance in result.advances:
+        for transmitter in advance.color:
+            transmissions += 1
+            per_node[transmitter] += model.tx_cost
+            for neighbor in topology.neighbors(transmitter):
+                receptions += 1
+                per_node[neighbor] += model.rx_cost
+                listening_events[neighbor] += 1
+
+    window = max(result.latency, 0)
+    idle_slots = 0
+    for node in topology.node_ids:
+        idle = max(window - listening_events[node], 0)
+        idle_slots += idle
+        per_node[node] += idle * model.idle_cost
+
+    return EnergyReport(
+        model=model,
+        transmissions=transmissions,
+        receptions=receptions,
+        idle_slots=idle_slots,
+        per_node=per_node,
+    )

@@ -1,0 +1,107 @@
+"""Metrics derived from broadcast traces.
+
+The paper's figures plot the end-to-end latency ``P(A)``; the summary in
+Section V-C additionally argues in terms of relative improvement ("at least
+70% improvement", "85% up to 90%"), tree depth and link utilisation.  This
+module turns a :class:`~repro.sim.trace.BroadcastResult` into those numbers
+and provides the aggregation helpers the experiment harness uses across
+repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.network.topology import WSNTopology
+from repro.sim.trace import BroadcastResult
+
+__all__ = ["BroadcastMetrics", "improvement_percent", "aggregate_latency"]
+
+
+@dataclass(frozen=True)
+class BroadcastMetrics:
+    """Per-broadcast metrics.
+
+    Attributes
+    ----------
+    latency:
+        Elapsed rounds/slots (the paper's ``P(A)`` for ``t_s = 1``).
+    end_time:
+        Absolute end round/slot ``t_e``.
+    num_advances:
+        Rounds/slots with at least one transmission.
+    idle_time:
+        Rounds/slots inside the broadcast window without any transmission
+        (cycle waiting in the duty-cycle system).
+    total_transmissions:
+        Number of individual node transmissions.
+    mean_utilization:
+        Average receivers per transmitter over all advances.
+    max_concurrency:
+        Largest number of simultaneous transmitters in one advance.
+    eccentricity:
+        Hop distance ``d`` from the source to the farthest node.
+    stretch:
+        ``latency / eccentricity`` — how far the schedule is from the
+        1-round-per-hop floor (>= 1 in the synchronous system).
+    """
+
+    latency: int
+    end_time: int
+    num_advances: int
+    idle_time: int
+    total_transmissions: int
+    mean_utilization: float
+    max_concurrency: int
+    eccentricity: int
+    stretch: float
+
+    @classmethod
+    def from_result(
+        cls, topology: WSNTopology, result: BroadcastResult
+    ) -> "BroadcastMetrics":
+        """Compute the metrics of ``result`` on ``topology``."""
+        utilizations = [a.utilization for a in result.advances]
+        eccentricity = topology.eccentricity(result.source)
+        latency = result.latency
+        return cls(
+            latency=latency,
+            end_time=result.end_time,
+            num_advances=result.num_advances,
+            idle_time=result.idle_time,
+            total_transmissions=result.total_transmissions,
+            mean_utilization=(
+                sum(utilizations) / len(utilizations) if utilizations else 0.0
+            ),
+            max_concurrency=max(
+                (len(a.color) for a in result.advances), default=0
+            ),
+            eccentricity=eccentricity,
+            stretch=latency / eccentricity if eccentricity else math.inf,
+        )
+
+
+def improvement_percent(baseline_latency: float, improved_latency: float) -> float:
+    """Relative latency improvement in percent (the paper's §V-C metric).
+
+    ``improvement_percent(10, 3) == 70.0`` — the improved schedule needs 70%
+    fewer rounds/slots than the baseline.
+    """
+    if baseline_latency <= 0:
+        raise ValueError("baseline latency must be positive")
+    return 100.0 * (baseline_latency - improved_latency) / baseline_latency
+
+
+def aggregate_latency(latencies: Iterable[float]) -> dict[str, float]:
+    """Mean / min / max / count summary used by the experiment harness."""
+    values: Sequence[float] = list(latencies)
+    if not values:
+        return {"mean": math.nan, "min": math.nan, "max": math.nan, "count": 0}
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "count": len(values),
+    }

@@ -1,0 +1,101 @@
+"""Plain-text rendering of topologies and broadcast schedules.
+
+The reproduction targets headless environments, so instead of matplotlib the
+examples and the CLI render results as text: an ASCII scatter of the
+deployment and a per-round/slot timeline ("Gantt" view) of who transmits and
+who receives.  Both renderers are deterministic, which also makes them easy
+to test.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import WSNTopology
+from repro.sim.trace import BroadcastResult
+from repro.utils.validation import require
+
+__all__ = ["render_topology_ascii", "render_schedule_timeline"]
+
+
+def render_topology_ascii(
+    topology: WSNTopology,
+    *,
+    width: int = 60,
+    height: int = 24,
+    highlight: int | None = None,
+) -> str:
+    """Render the deployment as an ASCII scatter plot.
+
+    Nodes are drawn as ``*`` (or ``S`` for the highlighted node, typically
+    the source); multiple nodes falling into the same character cell are
+    drawn as ``#``.  The bounding box of the deployment is mapped onto the
+    ``width x height`` character grid.
+    """
+    require(width >= 2 and height >= 2, "grid must be at least 2x2 characters")
+    if topology.num_nodes == 0:
+        return "(empty topology)"
+
+    positions = topology.positions
+    min_x, min_y = positions.min(axis=0)
+    max_x, max_y = positions.max(axis=0)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for node_id in topology.node_ids:
+        x, y = topology.position(node_id)
+        col = int((x - min_x) / span_x * (width - 1))
+        row = int((y - min_y) / span_y * (height - 1))
+        row = height - 1 - row  # y grows upwards, rows grow downwards
+        current = grid[row][col]
+        if node_id == highlight:
+            grid[row][col] = "S"
+        elif current == " ":
+            grid[row][col] = "*"
+        elif current == "*":
+            grid[row][col] = "#"
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = (
+        f"{topology.num_nodes} nodes, {topology.num_edges} links"
+        + (f", S = node {highlight}" if highlight is not None else "")
+    )
+    return f"{border}\n{body}\n{border}\n{legend}"
+
+
+def render_schedule_timeline(
+    result: BroadcastResult,
+    *,
+    max_entries: int = 50,
+) -> str:
+    """Render a broadcast trace as a per-round/slot timeline.
+
+    Idle slots (duty-cycle waits) are compressed into a single ``... idle``
+    line so long light-duty-cycle traces stay readable; at most
+    ``max_entries`` transmission rows are shown.
+    """
+    require(max_entries >= 1, "max_entries must be >= 1")
+    unit = "round" if result.synchronous else "slot"
+    lines = [
+        f"broadcast by {result.policy_name}: source {result.source}, "
+        f"P(A) = {result.latency} {unit}s"
+    ]
+    previous_time = result.start_time - 1
+    shown = 0
+    for advance in result.advances:
+        gap = advance.time - previous_time - 1
+        if gap > 0:
+            lines.append(f"  ... {gap} idle {unit}{'s' if gap != 1 else ''} ...")
+        marker = "#" * min(len(advance.receivers), 40)
+        lines.append(
+            f"  {unit} {advance.time:>4}: {sorted(advance.color)} -> "
+            f"{len(advance.receivers):>3} new receivers {marker}"
+        )
+        previous_time = advance.time
+        shown += 1
+        if shown >= max_entries:
+            remaining = len(result.advances) - shown
+            if remaining > 0:
+                lines.append(f"  ... {remaining} further advances omitted ...")
+            break
+    lines.append(f"  covered {len(result.covered)} nodes by {unit} {result.end_time}")
+    return "\n".join(lines)

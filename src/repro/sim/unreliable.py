@@ -1,0 +1,254 @@
+"""Broadcasting over unreliable links (the robustness concern of §VI).
+
+The related-work section points out that schedulers relying on "healthy,
+interference-free links" suffer retransmissions and even live-lock once
+signals fail.  The conflict-aware schedulers of this paper degrade
+gracefully: a node that misses a transmission simply stays uncovered, so it
+remains part of the frontier's uncovered set and a later advance re-serves
+it — no protocol change is needed.  This module provides the lossy engines
+that exercise exactly that behaviour, plus a small experiment helper used by
+the robustness example and the reliability ablation bench.
+
+Loss model
+----------
+Each (transmitter, potential receiver) delivery in an advance fails
+independently with probability ``loss_probability``.  A receiver covered by
+several same-round transmitters of the selected relay set would only hear
+garbage anyway if those transmitters conflicted, so — consistent with the
+interference model — it receives the message iff the delivery from at least
+one transmitter it can hear succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policies import SchedulingPolicy
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.topology import WSNTopology
+from repro.sim.engine import RoundEngine, SimulationTimeout, SlotEngine
+from repro.sim.trace import BroadcastResult
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["LossyRoundEngine", "LossySlotEngine", "run_lossy_broadcast", "LossySweepPoint"]
+
+
+class _LossMixin:
+    """Shared delivery-failure logic for the lossy engines."""
+
+    def _init_loss(self, loss_probability: float, seed: int | None) -> None:
+        check_probability("loss_probability", loss_probability)
+        self._loss_probability = loss_probability
+        self._loss_rng = make_rng(seed)
+
+    @property
+    def loss_probability(self) -> float:
+        """Per-link delivery failure probability."""
+        return self._loss_probability
+
+    def _apply_losses(self, advance, covered):
+        """Return the receivers that actually got the message this round."""
+        if self._loss_probability == 0.0:
+            return advance.receivers
+        delivered: set[int] = set()
+        for transmitter in sorted(advance.color):
+            for receiver in sorted(self.topology.neighbors(transmitter)):
+                if receiver in covered or receiver in delivered:
+                    continue
+                if self._loss_rng.random() >= self._loss_probability:
+                    delivered.add(receiver)
+        return frozenset(delivered)
+
+    def _run(self, policy, source, start_time, limit, schedule):  # type: ignore[override]
+        """The engine loop of :class:`_EngineBase`, with lossy deliveries.
+
+        The structure mirrors the reliable engine; the only difference is
+        that the receivers actually covered are the subset of the advance's
+        intended receivers whose delivery succeeded.
+        """
+        from repro.core.advance import Advance, BroadcastState
+        from repro.utils.validation import require
+
+        require(source in self.topology, f"unknown source node {source}")
+        require(start_time >= 1, "start_time is 1-based")
+        covered: frozenset[int] = frozenset({source})
+        advances: list[Advance] = []
+        time = start_time
+        end_time = start_time - 1
+        full = self.topology.node_set
+
+        while covered != full:
+            if time > limit:
+                raise SimulationTimeout(
+                    f"lossy broadcast did not complete by time {limit} "
+                    f"(covered {len(covered)}/{len(full)} nodes, "
+                    f"loss probability {self._loss_probability})"
+                )
+            state = BroadcastState(
+                topology=self.topology, covered=covered, time=time, schedule=schedule
+            )
+            advance = policy.select_advance(state)
+            if advance is not None:
+                self._check_advance(
+                    advance,
+                    covered,
+                    time,
+                    schedule,
+                    check_conflicts=getattr(policy, "interference_free", True),
+                )
+                delivered = self._apply_losses(advance, covered)
+                recorded = Advance(
+                    time=advance.time,
+                    color=advance.color,
+                    receivers=delivered,
+                    color_index=advance.color_index,
+                    num_colors=advance.num_colors,
+                    note=advance.note,
+                )
+                covered = covered | delivered
+                if delivered:
+                    end_time = time
+                advances.append(recorded)
+            time += 1
+
+        return BroadcastResult(
+            policy_name=policy.name,
+            source=source,
+            start_time=start_time,
+            end_time=max(end_time, start_time - 1),
+            covered=covered,
+            advances=tuple(advances),
+            synchronous=schedule is None,
+            cycle_rate=1 if schedule is None else schedule.rate,
+        )
+
+
+class LossyRoundEngine(_LossMixin, RoundEngine):
+    """Round-based engine with independent per-link delivery failures."""
+
+    def __init__(
+        self,
+        topology: WSNTopology,
+        *,
+        loss_probability: float,
+        seed: int | None = 0,
+    ) -> None:
+        RoundEngine.__init__(self, topology)
+        self._init_loss(loss_probability, seed)
+
+
+class LossySlotEngine(_LossMixin, SlotEngine):
+    """Slot-based (duty-cycle) engine with per-link delivery failures."""
+
+    def __init__(
+        self,
+        topology: WSNTopology,
+        schedule: WakeupSchedule,
+        *,
+        loss_probability: float,
+        seed: int | None = 0,
+    ) -> None:
+        SlotEngine.__init__(self, topology, schedule)
+        self._init_loss(loss_probability, seed)
+
+
+def run_lossy_broadcast(
+    topology: WSNTopology,
+    source: int,
+    policy: SchedulingPolicy,
+    *,
+    loss_probability: float,
+    schedule: WakeupSchedule | None = None,
+    seed: int | None = 0,
+    start_time: int = 1,
+    align_start: bool = False,
+    max_time: int | None = None,
+) -> BroadcastResult:
+    """Run one broadcast over unreliable links and return the trace.
+
+    Mirrors :func:`repro.sim.broadcast.run_broadcast` (including the policy
+    ``prepare`` hook); the default time limit is scaled up by the expected
+    number of retransmissions ``1 / (1 - p)`` so that high loss rates do not
+    trip the reliable engine's timeout prematurely.
+    """
+    check_probability("loss_probability", loss_probability)
+    policy.prepare(topology, schedule, source)
+    stretch = 1.0 / max(1.0 - loss_probability, 0.05)
+    if schedule is None:
+        engine = LossyRoundEngine(
+            topology, loss_probability=loss_probability, seed=seed
+        )
+        depth = max(topology.eccentricity(source), 1)
+        default_rounds = int((depth * max(topology.max_degree(), 1) + depth + 8) * stretch)
+        return engine.run(
+            policy, source, start_time=start_time, max_rounds=max_time or default_rounds
+        )
+    slot_engine = LossySlotEngine(
+        topology, schedule, loss_probability=loss_probability, seed=seed
+    )
+    depth = max(topology.eccentricity(source), 1)
+    worst_per_layer = 2 * schedule.rate * (max(topology.max_degree(), 1) + 2)
+    default_slots = int((depth * worst_per_layer + 4 * schedule.rate) * stretch)
+    return slot_engine.run(
+        policy,
+        source,
+        start_time=start_time,
+        align_start=align_start,
+        max_slots=max_time or default_slots,
+    )
+
+
+@dataclass(frozen=True)
+class LossySweepPoint:
+    """One point of a reliability sweep: loss probability vs mean latency."""
+
+    loss_probability: float
+    mean_latency: float
+    mean_extra_rounds: float
+    completed: int
+    attempts: int
+
+
+def reliability_sweep(
+    topology: WSNTopology,
+    source: int,
+    policy_factory,
+    *,
+    loss_probabilities=(0.0, 0.1, 0.2, 0.3),
+    repetitions: int = 3,
+    base_seed: int = 0,
+) -> list[LossySweepPoint]:
+    """Sweep the loss probability and report latency inflation.
+
+    ``policy_factory`` is called once per run (policies may be stateful).
+    The zero-loss latency of the first point is used as the baseline for the
+    ``mean_extra_rounds`` column.
+    """
+    points: list[LossySweepPoint] = []
+    baseline: float | None = None
+    for probability in loss_probabilities:
+        latencies = []
+        for repetition in range(repetitions):
+            seed = derive_seed(base_seed, "loss", probability, repetition)
+            result = run_lossy_broadcast(
+                topology,
+                source,
+                policy_factory(),
+                loss_probability=probability,
+                seed=seed,
+            )
+            latencies.append(result.latency)
+        mean_latency = sum(latencies) / len(latencies)
+        if baseline is None:
+            baseline = mean_latency
+        points.append(
+            LossySweepPoint(
+                loss_probability=probability,
+                mean_latency=mean_latency,
+                mean_extra_rounds=mean_latency - baseline,
+                completed=len(latencies),
+                attempts=repetitions,
+            )
+        )
+    return points

@@ -1,0 +1,116 @@
+"""Independent validation of broadcast traces.
+
+The engines already reject invalid advances while simulating; this module
+re-checks a finished :class:`~repro.sim.trace.BroadcastResult` *from scratch*
+(replaying coverage from the source) so that tests, property-based checks and
+the experiment harness can assert the network-model invariants without
+trusting the engine's internal bookkeeping.  The checks are exactly the
+paper's model constraints:
+
+1.  every transmitter held the message before transmitting;
+2.  (duty-cycle) every transmitter was awake in its transmission slot;
+3.  transmitters of the same round/slot are mutually interference-free with
+    respect to the nodes that still needed the message;
+4.  the recorded receivers are exactly the uncovered neighbours of the
+    transmitters;
+5.  coverage is complete at the end and every node received the message
+    exactly once (no duplicate delivery in the trace);
+6.  times are within ``[start_time, end_time]`` and strictly increasing.
+"""
+
+from __future__ import annotations
+
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.interference import conflicting_pairs, receivers_of
+from repro.network.topology import WSNTopology
+from repro.sim.trace import BroadcastResult
+
+__all__ = ["ScheduleViolation", "validate_broadcast", "assert_valid"]
+
+
+class ScheduleViolation(AssertionError):
+    """A broadcast trace violates the paper's network model."""
+
+
+def validate_broadcast(
+    topology: WSNTopology,
+    result: BroadcastResult,
+    *,
+    schedule: WakeupSchedule | None = None,
+    require_complete: bool = True,
+) -> list[str]:
+    """Return a list of violation descriptions (empty when the trace is valid)."""
+    violations: list[str] = []
+    covered: set[int] = {result.source}
+    delivered: dict[int, int] = {result.source: result.start_time - 1}
+    previous_time = result.start_time - 1
+
+    for index, advance in enumerate(result.advances):
+        prefix = f"advance #{index} (t={advance.time})"
+        if advance.time <= previous_time:
+            violations.append(f"{prefix}: times not strictly increasing")
+        previous_time = advance.time
+        if advance.time < result.start_time or advance.time > result.end_time:
+            violations.append(f"{prefix}: outside [start_time, end_time]")
+
+        not_holding = advance.color - covered
+        if not_holding:
+            violations.append(
+                f"{prefix}: transmitters without the message {sorted(not_holding)}"
+            )
+        if schedule is not None:
+            asleep = [
+                u for u in advance.color if not schedule.is_active(u, advance.time)
+            ]
+            if asleep:
+                violations.append(f"{prefix}: sleeping transmitters {sorted(asleep)}")
+        conflicts = conflicting_pairs(topology, advance.color, frozenset(covered))
+        if conflicts:
+            violations.append(f"{prefix}: conflicting transmitter pairs {conflicts}")
+
+        expected = receivers_of(topology, advance.color, frozenset(covered))
+        if expected != advance.receivers:
+            violations.append(
+                f"{prefix}: recorded receivers {sorted(advance.receivers)} differ "
+                f"from the model's {sorted(expected)}"
+            )
+        duplicates = advance.receivers & delivered.keys()
+        if duplicates:
+            violations.append(
+                f"{prefix}: nodes received the message twice {sorted(duplicates)}"
+            )
+        for node in advance.receivers:
+            delivered[node] = advance.time
+        covered |= advance.receivers
+
+    if frozenset(covered) != result.covered:
+        violations.append(
+            "result.covered does not match the coverage replayed from the trace"
+        )
+    if require_complete and frozenset(covered) != topology.node_set:
+        missing = topology.node_set - covered
+        violations.append(f"broadcast incomplete: {len(missing)} nodes never covered")
+    if result.advances and result.end_time != result.advances[-1].time:
+        violations.append(
+            "end_time does not match the time of the last recorded advance"
+        )
+    return violations
+
+
+def assert_valid(
+    topology: WSNTopology,
+    result: BroadcastResult,
+    *,
+    schedule: WakeupSchedule | None = None,
+    require_complete: bool = True,
+) -> None:
+    """Raise :class:`ScheduleViolation` when the trace violates the model."""
+    violations = validate_broadcast(
+        topology, result, schedule=schedule, require_complete=require_complete
+    )
+    if violations:
+        details = "\n  - ".join(violations)
+        raise ScheduleViolation(
+            f"broadcast trace from policy {result.policy_name!r} violates the "
+            f"network model:\n  - {details}"
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG helpers, caching, validation, formatting."""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "derive_seed",
+    "make_rng",
+    "require",
+]

@@ -1,0 +1,78 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment harness prints the same rows/series the paper's figures plot.
+``matplotlib`` is intentionally not a dependency: the reproduction targets a
+headless environment, so results are emitted as aligned text tables and CSV.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series_table", "to_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` as an aligned, pipe-separated text table."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = [_line(list(headers)), separator]
+    lines.extend(_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render one column per series, one row per x value (figure layout)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, float_format=float_format)
+
+
+def to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Serialise rows to a CSV string (no external csv dependency quirks)."""
+    buffer = io.StringIO()
+    buffer.write(",".join(str(h) for h in headers) + "\n")
+    for row in rows:
+        buffer.write(",".join(str(cell) for cell in row) + "\n")
+    return buffer.getvalue()

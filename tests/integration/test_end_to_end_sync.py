@@ -1,0 +1,108 @@
+"""End-to-end tests on random paper-style deployments (round-based system)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.approx26 import Approx26Policy
+from repro.core.policies import EModelPolicy, GreedyOptPolicy, OptPolicy
+from repro.core.time_counter import SearchConfig
+from repro.sim.broadcast import run_broadcast
+from repro.sim.metrics import BroadcastMetrics, improvement_percent
+from repro.sim.validation import validate_broadcast
+
+
+BEAM = SearchConfig(mode="beam", beam_width=6)
+
+
+@pytest.fixture(scope="module")
+def deployment(request):
+    from repro.network.deployment import DeploymentConfig, deploy_uniform
+
+    config = DeploymentConfig(
+        num_nodes=120,
+        area_side=50.0,
+        radius=10.0,
+        source_min_ecc=5,
+        source_max_ecc=8,
+    )
+    return deploy_uniform(config=config, seed=2012)
+
+
+@pytest.fixture(scope="module")
+def results(deployment):
+    topo, source = deployment
+    policies = {
+        "OPT": OptPolicy(search=BEAM, max_color_classes=16),
+        "G-OPT": GreedyOptPolicy(search=BEAM),
+        "E-model": EModelPolicy(),
+        "26-approx": Approx26Policy(),
+    }
+    return topo, source, {
+        name: run_broadcast(topo, source, policy, validate=False)
+        for name, policy in policies.items()
+    }
+
+
+class TestSynchronousEndToEnd:
+    def test_all_schedules_valid(self, results):
+        topo, _, traces = results
+        for name, trace in traces.items():
+            assert validate_broadcast(topo, trace) == [], name
+
+    def test_all_nodes_covered(self, results):
+        topo, _, traces = results
+        for trace in traces.values():
+            assert trace.covered == topo.node_set
+
+    def test_latency_ordering(self, results):
+        _, _, traces = results
+        assert traces["OPT"].latency <= traces["G-OPT"].latency + 1
+        assert traces["G-OPT"].latency <= traces["E-model"].latency
+        assert traces["E-model"].latency < traces["26-approx"].latency
+
+    def test_pipeline_improvement_is_substantial(self, results):
+        """Section V-C: there is large room for improvement over the baseline."""
+        _, _, traces = results
+        improvement = improvement_percent(
+            traces["26-approx"].latency, traces["G-OPT"].latency
+        )
+        assert improvement >= 30.0
+
+    def test_gopt_close_to_opt(self, results):
+        """Section V-C: G-OPT within 2 rounds of OPT."""
+        _, _, traces = results
+        assert abs(traces["G-OPT"].latency - traces["OPT"].latency) <= 2
+
+    def test_latency_at_least_eccentricity_and_within_bound(self, results, deployment):
+        topo, source = deployment
+        _, _, traces = results
+        d = topo.eccentricity(source)
+        # The search-based schedulers land within a few rounds of the hop
+        # floor; the E-model is a coarse estimate and only promises to stay
+        # well below the layer-synchronised baseline.
+        for name in ("OPT", "G-OPT"):
+            assert traces[name].latency >= d
+            assert traces[name].latency <= d + 4
+        assert traces["E-model"].latency >= d
+        assert traces["E-model"].latency < traces["26-approx"].latency
+
+    def test_metrics_consistency(self, results, deployment):
+        topo, _ = deployment
+        _, _, traces = results
+        for trace in traces.values():
+            metrics = BroadcastMetrics.from_result(topo, trace)
+            assert metrics.latency == trace.latency
+            assert metrics.total_transmissions >= metrics.num_advances
+            assert metrics.stretch >= 1.0
+
+    def test_baseline_latency_equals_sum_of_layer_colors(self, deployment):
+        topo, source = deployment
+        policy = Approx26Policy()
+        trace = run_broadcast(topo, source, policy)
+        assert trace.latency == policy.planned_rounds
+
+    def test_source_transmits_first(self, results, deployment):
+        _, source, traces = results
+        for trace in traces.values():
+            assert trace.advances[0].color == frozenset({source})

@@ -1,0 +1,132 @@
+"""Integration tests reproducing the paper's worked examples end to end.
+
+These are the closest thing the paper offers to ground truth: the motivating
+example of Figure 1 / Table III, the small example of Figure 2 / Table II and
+its duty-cycle variant of Figure 2(e) / Table IV.  Each test runs the full
+pipeline (topology -> policy -> engine -> validation) and checks the
+published numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.approx26 import Approx26Policy
+from repro.baselines.flooding import LargestFirstPolicy
+from repro.core.policies import EModelPolicy, GreedyOptPolicy, OptPolicy
+from repro.core.time_counter import SearchConfig
+from repro.experiments.tables import table2, table3, table4
+from repro.network.graphs import FIGURE2_DUTY_START
+from repro.sim.broadcast import run_broadcast
+
+
+class TestFigure1Story:
+    """Section II: the motivating example."""
+
+    def test_optimal_broadcast_takes_three_rounds(self, figure1):
+        topo, source = figure1
+        for policy in (OptPolicy(), GreedyOptPolicy(), EModelPolicy()):
+            result = run_broadcast(topo, source, policy)
+            assert result.latency == 3, policy.name
+
+    def test_optimal_schedule_follows_figure1c(self, figure1):
+        """s -> {1} -> {0, 4}: the magenta relay first, then the pipeline."""
+        topo, source = figure1
+        result = run_broadcast(topo, source, GreedyOptPolicy())
+        colors = [advance.color for advance in result.advances]
+        assert colors[0] == frozenset({source})
+        assert colors[1] == frozenset({1})
+        assert colors[2] == frozenset({0, 4})
+        assert result.advances[1].receivers == frozenset({3, 4, 10})
+        assert result.advances[2].receivers == frozenset({5, 6, 7, 8, 9})
+
+    def test_naive_most_receivers_choice_defers_broadcast(self, figure1):
+        """Figure 1(b): launching the cyan relay (node 0) first costs a round."""
+        topo, source = figure1
+        result = run_broadcast(topo, source, LargestFirstPolicy())
+        assert result.advances[1].color == frozenset({0})
+        assert result.latency == 4
+
+    def test_hop_distance_baseline_is_slower(self, figure1):
+        topo, source = figure1
+        baseline = run_broadcast(topo, source, Approx26Policy())
+        optimum = run_broadcast(topo, source, GreedyOptPolicy())
+        assert baseline.latency > optimum.latency
+
+    def test_theorem1_bound_holds(self, figure1):
+        topo, source = figure1
+        d = topo.eccentricity(source)
+        result = run_broadcast(topo, source, OptPolicy())
+        assert result.latency < d + 2
+
+
+class TestFigure2Story:
+    def test_round_based_optimum_is_two_rounds(self, figure2):
+        topo, source = figure2
+        for policy in (OptPolicy(), GreedyOptPolicy(), EModelPolicy()):
+            assert run_broadcast(topo, source, policy).latency == 2
+
+    def test_selected_relay_is_node_2(self, figure2):
+        topo, source = figure2
+        result = run_broadcast(topo, source, GreedyOptPolicy())
+        assert result.advances[1].color == frozenset({2})
+
+    def test_duty_cycle_optimum_ends_at_slot_4(self, figure2_duty):
+        topo, source, schedule = figure2_duty
+        result = run_broadcast(
+            topo,
+            source,
+            GreedyOptPolicy(),
+            schedule=schedule,
+            start_time=FIGURE2_DUTY_START,
+        )
+        assert result.end_time == 4
+        assert result.advances[-1].color == frozenset({2})
+
+    def test_duty_cycle_wrong_choice_waits_a_full_cycle(self, figure2_duty):
+        """Selecting node 3 at slot 4 forces a wait for node 2's next wake-up."""
+        from repro.core.time_counter import TimeCounter
+
+        topo, _, schedule = figure2_duty
+        counter = TimeCounter(topo, schedule=schedule)
+        wrong = counter.completion_time(frozenset({1, 2, 3, 4}), 5)
+        assert wrong >= 14  # node 2 wakes again at slot 14
+
+
+class TestPaperTables:
+    @pytest.mark.parametrize(
+        "table_factory, expected_end",
+        [(table2, 2), (table3, 3), (table4, 4)],
+        ids=["table2", "table3", "table4"],
+    )
+    def test_tables_match_published_latency(self, table_factory, expected_end):
+        table = table_factory()
+        assert table.end_time == expected_end
+        assert table.matches_paper
+
+    def test_table3_walkthrough_matches_figure1c(self):
+        table = table3()
+        assert [row.selected_color for row in table.rows] == [(11,), (1,), (0, 4)]
+        assert [row.num_colors for row in table.rows] == [1, 3, 3]
+
+
+class TestCrossPolicyConsistency:
+    def test_exact_and_beam_policies_agree_on_examples(self, figure1, figure2):
+        for topo, source in (figure1, figure2):
+            exact = run_broadcast(
+                topo, source, GreedyOptPolicy(search=SearchConfig(mode="exact"))
+            )
+            beam = run_broadcast(
+                topo,
+                source,
+                GreedyOptPolicy(search=SearchConfig(mode="beam", beam_width=4)),
+            )
+            assert exact.latency == beam.latency
+
+    def test_opt_never_worse_than_gopt_never_worse_than_baseline(self, figure1):
+        topo, source = figure1
+        opt = run_broadcast(topo, source, OptPolicy()).latency
+        gopt = run_broadcast(topo, source, GreedyOptPolicy()).latency
+        emodel = run_broadcast(topo, source, EModelPolicy()).latency
+        baseline = run_broadcast(topo, source, Approx26Policy()).latency
+        assert opt <= gopt <= emodel <= baseline

@@ -1,0 +1,94 @@
+"""Property-based tests for the colour scheme (Eq. 1/2, Algorithm 1)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.coloring import (
+    enumerate_color_classes,
+    frontier_candidates,
+    greedy_color_classes,
+)
+from repro.network.interference import conflict_free, has_conflict, receivers_of
+
+from .conftest import coverage_states
+
+
+@settings(max_examples=60, deadline=None)
+@given(coverage_states())
+def test_greedy_classes_partition_the_frontier(case):
+    """Every relay candidate is assigned exactly one colour."""
+    topology, _, covered = case
+    candidates = frontier_candidates(topology, covered)
+    classes = greedy_color_classes(topology, covered)
+    assigned = [u for color in classes for u in color]
+    assert sorted(assigned) == sorted(candidates)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coverage_states())
+def test_greedy_classes_are_interference_free(case):
+    """Eq. (1) constraint 3: members of one colour never share an uncovered neighbour."""
+    topology, _, covered = case
+    for color in greedy_color_classes(topology, covered):
+        assert conflict_free(topology, color, covered)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coverage_states())
+def test_every_candidate_has_an_uncovered_receiver(case):
+    """Eq. (1) constraints 1-2: colours only contain useful relays."""
+    topology, _, covered = case
+    for color in greedy_color_classes(topology, covered):
+        for u in color:
+            assert u in covered
+            assert topology.uncovered_neighbors(u, covered)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coverage_states())
+def test_deferred_candidates_conflict_with_previous_class(case):
+    """Eq. (1) constraint 4: a later colour is justified by a conflict."""
+    topology, _, covered = case
+    classes = greedy_color_classes(topology, covered)
+    for index in range(1, len(classes)):
+        for u in classes[index]:
+            assert any(
+                has_conflict(topology, u, v, covered) for v in classes[index - 1]
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(coverage_states())
+def test_selected_color_coverage_grows_monotonically(case):
+    """Applying any colour strictly grows coverage (the broadcast advances)."""
+    topology, _, covered = case
+    classes = greedy_color_classes(topology, covered)
+    for color in classes:
+        reached = receivers_of(topology, color, covered)
+        assert reached
+        assert reached.isdisjoint(covered)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coverage_states(max_nodes=12))
+def test_exhaustive_classes_are_maximal(case):
+    """Eq. (1): OPT candidates are maximal interference-free relay sets."""
+    topology, _, covered = case
+    candidates = set(frontier_candidates(topology, covered))
+    for color in enumerate_color_classes(topology, covered):
+        assert conflict_free(topology, color, covered)
+        for extra in candidates - color:
+            assert not conflict_free(topology, color | {extra}, covered)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coverage_states(max_nodes=12))
+def test_greedy_first_class_appears_among_maximal_sets(case):
+    """The greedy scheme's first colour is itself maximal, hence an OPT candidate."""
+    topology, _, covered = case
+    classes = greedy_color_classes(topology, covered)
+    if not classes:
+        return
+    exhaustive = enumerate_color_classes(topology, covered)
+    assert classes[0] in exhaustive

@@ -1,0 +1,50 @@
+"""Property-based tests for the localized contention election."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.coloring import frontier_candidates
+from repro.core.estimation import build_edge_estimate
+from repro.core.localized import LocalizedEModelPolicy, local_contention_winners
+from repro.network.interference import conflict_free, has_conflict
+from repro.sim.broadcast import run_broadcast
+from repro.sim.validation import validate_broadcast
+
+from .conftest import coverage_states, topologies_with_source
+
+
+@settings(max_examples=40, deadline=None)
+@given(coverage_states(max_nodes=14))
+def test_winners_are_interference_free_and_nonempty(case):
+    topology, _, covered = case
+    candidates = frontier_candidates(topology, covered)
+    estimate = build_edge_estimate(topology)
+    winners = local_contention_winners(topology, covered, candidates, estimate)
+    if candidates:
+        assert winners
+        assert conflict_free(topology, winners, covered)
+    else:
+        assert winners == frozenset()
+
+
+@settings(max_examples=40, deadline=None)
+@given(coverage_states(max_nodes=14))
+def test_winner_set_is_maximal(case):
+    """Every losing candidate conflicts with at least one winner."""
+    topology, _, covered = case
+    candidates = frontier_candidates(topology, covered)
+    estimate = build_edge_estimate(topology)
+    winners = local_contention_winners(topology, covered, candidates, estimate)
+    for loser in set(candidates) - winners:
+        assert any(has_conflict(topology, loser, winner, covered) for winner in winners)
+
+
+@settings(max_examples=25, deadline=None)
+@given(topologies_with_source(max_nodes=14))
+def test_localized_broadcasts_are_valid_and_bounded(case):
+    topology, source = case
+    result = run_broadcast(topology, source, LocalizedEModelPolicy(), validate=False)
+    assert result.covered == topology.node_set
+    assert validate_broadcast(topology, result) == []
+    assert result.latency >= topology.eccentricity(source)

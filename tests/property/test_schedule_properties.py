@@ -1,0 +1,105 @@
+"""Property-based tests: every policy produces model-valid, bounded schedules."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.baselines.approx26 import Approx26Policy
+from repro.baselines.flooding import LargestFirstPolicy
+from repro.core.policies import EModelPolicy, GreedyOptPolicy
+from repro.core.time_counter import SearchConfig
+from repro.sim.broadcast import run_broadcast
+from repro.sim.validation import validate_broadcast
+
+from .conftest import topologies_with_source
+
+
+def _policies():
+    return [
+        EModelPolicy(),
+        GreedyOptPolicy(search=SearchConfig(mode="exact")),
+        GreedyOptPolicy(search=SearchConfig(mode="beam", beam_width=3)),
+        LargestFirstPolicy(),
+        Approx26Policy(),
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(topologies_with_source(max_nodes=14))
+def test_every_policy_covers_every_node_with_a_valid_trace(case):
+    topology, source = case
+    for policy in _policies():
+        result = run_broadcast(topology, source, policy, validate=False)
+        assert result.covered == topology.node_set
+        assert validate_broadcast(topology, result) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(topologies_with_source(max_nodes=14))
+def test_latency_at_least_eccentricity(case):
+    """No interference-aware schedule can beat one hop per round."""
+    topology, source = case
+    eccentricity = topology.eccentricity(source)
+    for policy in _policies():
+        result = run_broadcast(topology, source, policy, validate=False)
+        assert result.latency >= eccentricity
+
+
+@settings(max_examples=30, deadline=None)
+@given(topologies_with_source(max_nodes=12))
+def test_exact_gopt_within_theorem1_slack(case):
+    """Theorem 1: the pipeline optimum stays within d + 2 rounds.
+
+    The exact G-OPT search restricts colours to the greedy classes, so we
+    allow the theorem's bound (stated for the unrestricted OPT selection)
+    plus one extra round of slack.
+    """
+    topology, source = case
+    eccentricity = topology.eccentricity(source)
+    result = run_broadcast(
+        topology, source, GreedyOptPolicy(search=SearchConfig(mode="exact"))
+    )
+    assert result.latency <= eccentricity + 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(topologies_with_source(max_nodes=10))
+def test_exact_opt_within_theorem1_bound(case):
+    """Theorem 1 for the unrestricted OPT target: P(A) - t_s < d + 2."""
+    from repro.core.policies import OptPolicy
+
+    topology, source = case
+    eccentricity = topology.eccentricity(source)
+    result = run_broadcast(
+        topology,
+        source,
+        OptPolicy(search=SearchConfig(mode="exact"), max_color_classes=None),
+    )
+    assert result.latency <= eccentricity + 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(topologies_with_source(max_nodes=12))
+def test_pipeline_schedulers_never_lose_to_layer_synchronised_baseline(case):
+    topology, source = case
+    baseline = run_broadcast(topology, source, Approx26Policy())
+    gopt = run_broadcast(
+        topology, source, GreedyOptPolicy(search=SearchConfig(mode="exact"))
+    )
+    assert gopt.latency <= baseline.latency
+
+
+@settings(max_examples=25, deadline=None)
+@given(topologies_with_source(max_nodes=12))
+def test_each_node_receives_exactly_once(case):
+    """The trace delivers the message to every non-source node exactly once."""
+    topology, source = case
+    result = run_broadcast(
+        topology, source, GreedyOptPolicy(search=SearchConfig(mode="exact"))
+    )
+    delivered: dict[int, int] = {}
+    for advance in result.advances:
+        for node in advance.receivers:
+            delivered[node] = delivered.get(node, 0) + 1
+    assert set(delivered) == set(topology.node_set - {source})
+    assert all(count == 1 for count in delivered.values())

@@ -1,0 +1,81 @@
+"""Property-based tests for the UDG topology substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.network.boundary import boundary_nodes, hull_nodes
+from repro.network.geometry import euclidean_distance
+from repro.network.quadrant import QUADRANTS, quadrant_partition
+
+from .conftest import topologies_with_source, udg_topologies
+
+
+@settings(max_examples=60, deadline=None)
+@given(udg_topologies(connected=False))
+def test_udg_edges_match_distance_threshold(topology):
+    """u-v is an edge iff dist(u, v) <= radius (UDG definition)."""
+    radius = topology.radius
+    for u in topology.node_ids:
+        for v in topology.node_ids:
+            if u >= v:
+                continue
+            distance = euclidean_distance(topology.position(u), topology.position(v))
+            assert topology.has_edge(u, v) == (distance <= radius + 1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(udg_topologies(connected=False))
+def test_neighborhoods_are_symmetric_and_irreflexive(topology):
+    for u in topology.node_ids:
+        assert u not in topology.neighbors(u)
+        for v in topology.neighbors(u):
+            assert u in topology.neighbors(v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(udg_topologies(connected=False))
+def test_mask_and_set_views_agree(topology):
+    """The bitmask fast path is consistent with the frozenset API."""
+    for u in topology.node_ids:
+        assert topology.nodes_from_mask(topology.neighbor_mask(u)) == topology.neighbors(u)
+    assert topology.nodes_from_mask(topology.full_mask) == topology.node_set
+
+
+@settings(max_examples=60, deadline=None)
+@given(topologies_with_source())
+def test_hop_distances_satisfy_triangle_step(case):
+    """BFS distances differ by at most one across an edge."""
+    topology, source = case
+    distances = topology.hop_distances(source)
+    for u, v in topology.edges():
+        assert abs(distances[u] - distances[v]) <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(topologies_with_source())
+def test_bfs_layers_partition_nodes(case):
+    topology, source = case
+    layers = topology.bfs_layers(source)
+    union = set()
+    for layer in layers:
+        assert union.isdisjoint(layer)
+        union |= layer
+    assert union == set(topology.node_set)
+
+
+@settings(max_examples=60, deadline=None)
+@given(udg_topologies(connected=False))
+def test_quadrants_partition_each_neighborhood(topology):
+    for u in topology.node_ids:
+        partition = quadrant_partition(topology, u)
+        assert set(partition) == set(QUADRANTS)
+        union = frozenset().union(*partition.values())
+        assert union == topology.neighbors(u)
+        assert sum(len(p) for p in partition.values()) == len(topology.neighbors(u))
+
+
+@settings(max_examples=40, deadline=None)
+@given(udg_topologies(connected=False, min_nodes=3))
+def test_hull_nodes_are_boundary_nodes(topology):
+    assert hull_nodes(topology) <= boundary_nodes(topology)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.advance (BroadcastState and Advance)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.advance import Advance, BroadcastState
+from repro.dutycycle.schedule import WakeupSchedule
+
+
+class TestBroadcastState:
+    def test_basic_properties(self, figure2):
+        topo, source = figure2
+        state = BroadcastState(topo, frozenset({source}), time=1)
+        assert state.uncovered == topo.node_set - {source}
+        assert not state.is_complete
+        assert state.is_synchronous
+
+    def test_complete_state(self, figure2):
+        topo, _ = figure2
+        state = BroadcastState(topo, topo.node_set, time=5)
+        assert state.is_complete
+        assert state.uncovered == frozenset()
+
+    def test_unknown_covered_node_rejected(self, figure2):
+        topo, _ = figure2
+        with pytest.raises(ValueError):
+            BroadcastState(topo, frozenset({99}), time=1)
+
+    def test_time_must_be_positive(self, figure2):
+        topo, source = figure2
+        with pytest.raises(ValueError):
+            BroadcastState(topo, frozenset({source}), time=0)
+
+    def test_awake_synchronous_returns_everything(self, figure2):
+        topo, source = figure2
+        state = BroadcastState(topo, frozenset({source}), time=1)
+        assert state.awake(frozenset({1, 2, 3})) == frozenset({1, 2, 3})
+
+    def test_awake_duty_filters_by_schedule(self, figure2):
+        topo, source = figure2
+        schedule = WakeupSchedule.from_explicit({u: [u + 1] for u in topo.node_ids}, rate=10)
+        state = BroadcastState(topo, topo.node_set, time=2, schedule=schedule)
+        assert not state.is_synchronous
+        assert state.awake(topo.node_set) == frozenset({1})
+
+    def test_advanced_produces_successor(self, figure2):
+        topo, source = figure2
+        state = BroadcastState(topo, frozenset({source}), time=1)
+        advance = Advance.from_color(topo, state.covered, frozenset({source}), time=1)
+        nxt = state.advanced(advance, new_time=2)
+        assert nxt.covered == frozenset({1, 2, 3})
+        assert nxt.time == 2
+        # No advance: coverage unchanged.
+        idle = nxt.advanced(None, new_time=3)
+        assert idle.covered == nxt.covered
+
+
+class TestAdvance:
+    def test_from_color_computes_receivers(self, figure2):
+        topo, source = figure2
+        advance = Advance.from_color(topo, frozenset({source}), frozenset({source}), time=1)
+        assert advance.receivers == frozenset({2, 3})
+
+    def test_utilization(self, figure1):
+        topo, source = figure1
+        covered = frozenset({source, 0, 1, 2, 3, 4, 10})
+        advance = Advance.from_color(topo, covered, frozenset({0, 4}), time=3)
+        assert advance.receivers == frozenset({5, 6, 7, 8, 9})
+        assert advance.utilization == pytest.approx(2.5)
+
+    def test_empty_color_rejected(self):
+        with pytest.raises(ValueError):
+            Advance(time=1, color=frozenset(), receivers=frozenset())
+
+    def test_time_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Advance(time=0, color=frozenset({1}), receivers=frozenset())
+
+    def test_note_not_part_of_equality(self):
+        a = Advance(time=1, color=frozenset({1}), receivers=frozenset({2}), note="x")
+        b = Advance(time=1, color=frozenset({1}), receivers=frozenset({2}), note="y")
+        assert a == b

@@ -1,0 +1,97 @@
+"""Unit tests for the 17-approximation duty-cycle baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.approx17 import Approx17Policy
+from repro.core.advance import BroadcastState
+from repro.core.policies import GreedyOptPolicy
+from repro.core.time_counter import SearchConfig
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.sim.broadcast import run_broadcast
+
+
+class TestApprox17Policy:
+    def test_requires_schedule(self, figure1):
+        topo, source = figure1
+        with pytest.raises(ValueError, match="duty-cycle"):
+            Approx17Policy().prepare(topo, None, source)
+
+    def test_requires_prepare_before_use(self, figure1):
+        topo, source = figure1
+        schedule = WakeupSchedule(topo.node_ids, rate=5, seed=0)
+        policy = Approx17Policy()
+        state = BroadcastState(topo, frozenset({source}), time=1, schedule=schedule)
+        with pytest.raises(RuntimeError, match="prepare"):
+            policy.select_advance(state)
+
+    def test_completes_and_is_valid(self, small_deployment, duty_schedule_factory):
+        topo, source = small_deployment
+        schedule = duty_schedule_factory(topo, rate=10)
+        result = run_broadcast(
+            topo, source, Approx17Policy(), schedule=schedule, align_start=True
+        )
+        assert result.covered == topo.node_set
+
+    def test_transmitters_only_at_their_wakeup_slots(self, small_deployment, duty_schedule_factory):
+        topo, source = small_deployment
+        schedule = duty_schedule_factory(topo, rate=10)
+        result = run_broadcast(
+            topo, source, Approx17Policy(), schedule=schedule, align_start=True
+        )
+        for advance in result.advances:
+            for node in advance.color:
+                assert schedule.is_active(node, advance.time)
+
+    def test_layer_synchronisation_never_pipelines(self, small_deployment, duty_schedule_factory):
+        """A node at hop distance h never transmits before every parent of
+        layer h-1 has transmitted (the defining property of the baseline)."""
+        topo, source = small_deployment
+        schedule = duty_schedule_factory(topo, rate=10)
+        policy = Approx17Policy()
+        result = run_broadcast(
+            topo, source, policy, schedule=schedule, align_start=True
+        )
+        tree = policy.tree
+        assert tree is not None
+        first_tx: dict[int, int] = {}
+        for advance in result.advances:
+            for node in advance.color:
+                first_tx.setdefault(node, advance.time)
+        last_tx_per_layer: dict[int, int] = {}
+        for level, parents in enumerate(tree.parents_per_layer):
+            times = [first_tx[p] for p in parents if p in first_tx]
+            if times:
+                last_tx_per_layer[level] = max(times)
+        distances = topo.hop_distances(source)
+        for node, time in first_tx.items():
+            level = distances[node]
+            if level == 0:
+                continue
+            assert time > last_tx_per_layer.get(level - 1, 0) - 1
+            # Strictly: a layer-h parent transmits only after layer h-1 closed.
+            assert time >= last_tx_per_layer.get(level - 1, 0)
+
+    def test_slower_than_pipeline_schedulers(self, small_deployment, duty_schedule_factory):
+        topo, source = small_deployment
+        schedule = duty_schedule_factory(topo, rate=10)
+        baseline = run_broadcast(
+            topo, source, Approx17Policy(), schedule=schedule, align_start=True
+        )
+        gopt = run_broadcast(
+            topo,
+            source,
+            GreedyOptPolicy(search=SearchConfig(mode="beam", beam_width=4)),
+            schedule=schedule,
+            align_start=True,
+        )
+        assert baseline.latency >= gopt.latency
+
+    def test_figure2_duty_example(self, figure2_duty):
+        topo, source, schedule = figure2_duty
+        result = run_broadcast(
+            topo, source, Approx17Policy(), schedule=schedule, start_time=2
+        )
+        assert result.covered == topo.node_set
+        assert result.end_time >= 4  # can never beat the optimum of Table IV

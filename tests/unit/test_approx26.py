@@ -1,0 +1,89 @@
+"""Unit tests for the 26-approximation baseline (repro.baselines.approx26)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.approx26 import Approx26Policy, layer_color_plan
+from repro.baselines.bfs_tree import build_broadcast_tree
+from repro.core.advance import BroadcastState
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.interference import conflict_free
+from repro.sim.broadcast import run_broadcast
+
+
+class TestLayerColorPlan:
+    def test_each_class_is_conflict_free_at_layer_start(self, medium_deployment):
+        topo, source = medium_deployment
+        tree = build_broadcast_tree(topo, source)
+        plan = layer_color_plan(topo, tree)
+        covered: set[int] = set()
+        for level, classes in enumerate(plan):
+            covered |= set(tree.layers[level])
+            for color in classes:
+                assert conflict_free(topo, color, frozenset(covered))
+
+    def test_classes_partition_layer_parents(self, medium_deployment):
+        topo, source = medium_deployment
+        tree = build_broadcast_tree(topo, source)
+        plan = layer_color_plan(topo, tree)
+        for level, classes in enumerate(plan):
+            members = [u for color in classes for u in color]
+            assert sorted(members) == sorted(tree.parents_per_layer[level])
+            assert len(members) == len(set(members))
+
+    def test_last_layer_has_no_classes(self, figure1):
+        topo, source = figure1
+        tree = build_broadcast_tree(topo, source)
+        plan = layer_color_plan(topo, tree)
+        assert plan[-1] == []
+
+
+class TestApprox26Policy:
+    def test_figure1_latency_is_per_layer_synchronised(self, figure1):
+        topo, source = figure1
+        result = run_broadcast(topo, source, Approx26Policy())
+        # 1 round for the source, 2 colour rounds for layer 1, 1 for layer 2.
+        assert result.latency == 4
+
+    def test_latency_equals_total_color_classes(self, medium_deployment):
+        topo, source = medium_deployment
+        policy = Approx26Policy()
+        result = run_broadcast(topo, source, policy)
+        assert result.latency == policy.planned_rounds
+        assert result.num_advances == policy.planned_rounds
+
+    def test_never_faster_than_pipeline_optimum(self, figure1, figure2, small_deployment):
+        from repro.core.policies import GreedyOptPolicy
+
+        for topo, source in (figure1, figure2, small_deployment):
+            baseline = run_broadcast(topo, source, Approx26Policy())
+            gopt = run_broadcast(topo, source, GreedyOptPolicy())
+            assert baseline.latency >= gopt.latency
+
+    def test_requires_prepare(self, figure1):
+        topo, source = figure1
+        policy = Approx26Policy()
+        state = BroadcastState(topo, frozenset({source}), time=1)
+        with pytest.raises(RuntimeError, match="prepare"):
+            policy.select_advance(state)
+
+    def test_rejects_duty_cycle_schedule(self, figure1):
+        topo, source = figure1
+        schedule = WakeupSchedule(topo.node_ids, rate=10, seed=0)
+        with pytest.raises(ValueError, match="round-based"):
+            Approx26Policy().prepare(topo, schedule, source)
+
+    def test_none_when_complete(self, figure1):
+        topo, source = figure1
+        policy = Approx26Policy()
+        policy.prepare(topo, None, source)
+        state = BroadcastState(topo, topo.node_set, time=1)
+        assert policy.select_advance(state) is None
+
+    def test_tree_exposed_after_prepare(self, figure1):
+        topo, source = figure1
+        policy = Approx26Policy()
+        policy.prepare(topo, None, source)
+        assert policy.tree is not None
+        assert policy.tree.source == source

@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.bounds (Theorems 1 and 3, baseline bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    duty_cycle_17_bound,
+    duty_cycle_opt_bound,
+    emodel_update_cost,
+    sync_26_bound,
+    sync_opt_bound,
+)
+
+
+class TestSyncOptBound:
+    def test_theorem1_values(self):
+        assert sync_opt_bound(3) == 4
+        assert sync_opt_bound(0) == 1
+
+    def test_figure1_schedule_respects_bound(self, figure1):
+        topo, source = figure1
+        d = topo.eccentricity(source)
+        # The reproduced optimal schedule needs 3 rounds < d + 2 = 5.
+        assert 3 <= sync_opt_bound(d)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sync_opt_bound(-1)
+
+
+class TestDutyCycleOptBound:
+    def test_formula(self):
+        assert duty_cycle_opt_bound(10, 3) == 2 * 10 * 5 - 1
+        assert duty_cycle_opt_bound(50, 6) == 2 * 50 * 8 - 1
+
+    def test_monotone_in_both_arguments(self):
+        assert duty_cycle_opt_bound(10, 4) > duty_cycle_opt_bound(10, 3)
+        assert duty_cycle_opt_bound(20, 3) > duty_cycle_opt_bound(10, 3)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            duty_cycle_opt_bound(0, 3)
+        with pytest.raises(ValueError):
+            duty_cycle_opt_bound(10, -1)
+
+
+class TestBaselineBounds:
+    def test_sync_26(self):
+        assert sync_26_bound(5) == 130
+        assert sync_26_bound(0) == 26  # degenerate radius clamped to one hop
+
+    def test_duty_17(self):
+        assert duty_cycle_17_bound(5, 20) == 17 * 20 * 5
+
+    def test_baseline_bounds_dominate_theorem1(self):
+        for d in range(1, 10):
+            assert sync_26_bound(d) > sync_opt_bound(d)
+            for rate in (10, 50):
+                assert duty_cycle_17_bound(d, 2 * rate) > duty_cycle_opt_bound(rate, d)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sync_26_bound(-1)
+        with pytest.raises(ValueError):
+            duty_cycle_17_bound(3, 0)
+
+
+class TestEmodelUpdateCost:
+    def test_four_per_node(self):
+        assert emodel_update_cost(300) == 1200
+        assert emodel_update_cost(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            emodel_update_cost(-1)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.utils.caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.caching import BoundedCache
+
+
+class TestBoundedCache:
+    def test_put_get_roundtrip(self):
+        cache: BoundedCache[str, int] = BoundedCache()
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+
+    def test_miss_returns_default(self):
+        cache: BoundedCache[str, int] = BoundedCache()
+        assert cache.get("missing") is None
+        assert cache.get("missing", -1) == -1
+
+    def test_eviction_is_lru(self):
+        cache: BoundedCache[int, int] = BoundedCache(max_entries=2)
+        cache.put(1, 1)
+        cache.put(2, 2)
+        cache.get(1)  # touch 1 so 2 becomes the LRU entry
+        cache.put(3, 3)
+        assert 1 in cache
+        assert 2 not in cache
+        assert 3 in cache
+        assert cache.stats.evictions == 1
+
+    def test_unbounded_never_evicts(self):
+        cache: BoundedCache[int, int] = BoundedCache(max_entries=None)
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) == 1000
+        assert cache.stats.evictions == 0
+
+    def test_stats_hit_rate(self):
+        cache: BoundedCache[str, int] = BoundedCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.lookups == 2
+
+    def test_hit_rate_zero_when_unused(self):
+        cache: BoundedCache[str, int] = BoundedCache()
+        assert cache.stats.hit_rate == 0.0
+
+    def test_clear_preserves_stats(self):
+        cache: BoundedCache[str, int] = BoundedCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            BoundedCache(max_entries=0)

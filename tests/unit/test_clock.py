@@ -1,0 +1,51 @@
+"""Unit tests for repro.dutycycle.clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dutycycle.clock import SlotClock
+
+
+class TestSlotClock:
+    def test_initial_state(self):
+        clock = SlotClock(rate=10)
+        assert clock.slot == 1
+        assert clock.cycle == 0
+        assert clock.slot_in_cycle == 1
+
+    def test_cycle_arithmetic(self):
+        clock = SlotClock(rate=10, start=10)
+        assert clock.cycle == 0
+        assert clock.slot_in_cycle == 10
+        clock.tick()
+        assert clock.slot == 11
+        assert clock.cycle == 1
+        assert clock.slot_in_cycle == 1
+
+    def test_tick_multiple(self):
+        clock = SlotClock(rate=5)
+        assert clock.tick(7) == 8
+        assert clock.cycle == 1
+        assert clock.slot_in_cycle == 3
+
+    def test_advance_to(self):
+        clock = SlotClock(rate=5)
+        clock.advance_to(23)
+        assert clock.slot == 23
+
+    def test_cannot_move_backwards(self):
+        clock = SlotClock(rate=5, start=10)
+        with pytest.raises(ValueError):
+            clock.advance_to(9)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SlotClock(rate=0)
+        with pytest.raises(ValueError):
+            SlotClock(rate=3, start=0)
+
+    def test_invalid_tick(self):
+        clock = SlotClock()
+        with pytest.raises(ValueError):
+            clock.tick(0)

@@ -1,0 +1,58 @@
+"""Unit tests for repro.dutycycle.cwt."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dutycycle.cwt import cycle_waiting_time, expected_cwt, max_cwt
+from repro.dutycycle.schedule import WakeupSchedule
+
+
+class TestCycleWaitingTime:
+    def test_matches_explicit_schedule(self):
+        schedule = WakeupSchedule.from_explicit({0: [2], 1: [7]}, rate=10)
+        # u=0 sends at slot 2; v=1 forwards at its next wake-up, slot 7.
+        assert cycle_waiting_time(schedule, 0, 1, slot=2) == 5
+
+    def test_minimum_is_one_slot(self):
+        schedule = WakeupSchedule.from_explicit({0: [2], 1: [3]}, rate=10)
+        assert cycle_waiting_time(schedule, 0, 1, slot=2) == 1
+
+    def test_same_schedule_waits_a_full_cycle(self):
+        # Both ends wake at the same slot of each cycle: the successor's next
+        # opportunity is one cycle after the sender's slot.
+        schedule = WakeupSchedule.from_explicit({0: [5, 15], 1: [5, 15]}, rate=10)
+        assert cycle_waiting_time(schedule, 0, 1, slot=5) == 10
+
+    def test_bounded_by_two_cycles(self):
+        schedule = WakeupSchedule(list(range(10)), rate=10, seed=3)
+        for u in range(5):
+            slot = schedule.next_active_slot(u, 1)
+            wait = cycle_waiting_time(schedule, u, u + 5, slot)
+            assert 1 <= wait <= max_cwt(10)
+
+    def test_rejects_non_positive_slot(self):
+        schedule = WakeupSchedule([0, 1], rate=5, seed=0)
+        with pytest.raises(ValueError):
+            cycle_waiting_time(schedule, 0, 1, slot=0)
+
+
+class TestExpectedCwt:
+    def test_formula(self):
+        assert expected_cwt(10) == pytest.approx(5.5)
+        assert expected_cwt(50) == pytest.approx(25.5)
+        assert expected_cwt(1) == pytest.approx(1.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            expected_cwt(0)
+
+
+class TestMaxCwt:
+    def test_two_cycles(self):
+        assert max_cwt(10) == 20
+        assert max_cwt(50) == 100
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            max_cwt(0)

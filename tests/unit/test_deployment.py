@@ -1,0 +1,104 @@
+"""Unit tests for repro.network.deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.deployment import (
+    DeploymentConfig,
+    DeploymentError,
+    deploy_uniform,
+    grid_deployment,
+)
+
+
+class TestDeploymentConfig:
+    def test_paper_defaults(self):
+        config = DeploymentConfig(num_nodes=250)
+        assert config.area_side == 50.0
+        assert config.radius == 10.0
+        assert config.source_min_ecc == 5
+        assert config.source_max_ecc == 8
+
+    def test_density_matches_paper_axis(self):
+        assert DeploymentConfig(num_nodes=300).density == pytest.approx(0.12)
+        assert DeploymentConfig(num_nodes=50).density == pytest.approx(0.02)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_nodes": 10, "area_side": 0},
+            {"num_nodes": 10, "radius": -1},
+            {"num_nodes": 10, "source_min_ecc": -1},
+            {"num_nodes": 10, "source_min_ecc": 5, "source_max_ecc": 3},
+            {"num_nodes": 10, "max_attempts": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DeploymentConfig(**kwargs)
+
+
+class TestDeployUniform:
+    def test_reproducible_for_same_seed(self):
+        config = DeploymentConfig(num_nodes=40, area_side=30, radius=8, source_min_ecc=2, source_max_ecc=None)
+        topo_a, source_a = deploy_uniform(config=config, seed=5)
+        topo_b, source_b = deploy_uniform(config=config, seed=5)
+        assert source_a == source_b
+        assert list(topo_a.edges()) == list(topo_b.edges())
+
+    def test_different_seeds_differ(self):
+        config = DeploymentConfig(num_nodes=40, area_side=30, radius=8, source_min_ecc=2, source_max_ecc=None)
+        topo_a, _ = deploy_uniform(config=config, seed=1)
+        topo_b, _ = deploy_uniform(config=config, seed=2)
+        assert list(topo_a.edges()) != list(topo_b.edges())
+
+    def test_connected_and_in_area(self):
+        config = DeploymentConfig(num_nodes=60, area_side=25, radius=7, source_min_ecc=2, source_max_ecc=None)
+        topo, _ = deploy_uniform(config=config, seed=3)
+        assert topo.is_connected()
+        positions = topo.positions
+        assert positions.min() >= 0.0
+        assert positions.max() <= 25.0
+
+    def test_source_eccentricity_in_range(self):
+        config = DeploymentConfig(num_nodes=120, area_side=50, radius=10)
+        deployment = deploy_uniform(config=config, seed=9, return_deployment=True)
+        assert 5 <= deployment.eccentricity <= 8
+
+    def test_num_nodes_shorthand(self):
+        topo, source = deploy_uniform(num_nodes=80, seed=11)
+        assert topo.num_nodes == 80
+        assert source in topo
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            deploy_uniform()
+
+    def test_impossible_constraints_raise_deployment_error(self):
+        # Two nodes can never have eccentricity >= 5.
+        config = DeploymentConfig(
+            num_nodes=2, area_side=5, radius=10, source_min_ecc=5, max_attempts=3
+        )
+        with pytest.raises(DeploymentError):
+            deploy_uniform(config=config, seed=0)
+
+
+class TestGridDeployment:
+    def test_four_connected_grid(self):
+        topo = grid_deployment(3, 4, spacing=1.0, radius=1.1)
+        assert topo.num_nodes == 12
+        # 4-connected grid edge count: rows*(cols-1) + cols*(rows-1)
+        assert topo.num_edges == 3 * 3 + 4 * 2
+
+    def test_eight_connected_with_larger_radius(self):
+        topo = grid_deployment(3, 3, spacing=1.0, radius=1.5)
+        # Diagonals included.
+        assert topo.num_edges == 12 + 8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            grid_deployment(0, 3)
+        with pytest.raises(ValueError):
+            grid_deployment(3, 3, spacing=-1)

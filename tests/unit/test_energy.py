@@ -1,0 +1,87 @@
+"""Unit tests for the energy accounting (repro.sim.energy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import EModelPolicy, GreedyOptPolicy
+from repro.sim.broadcast import run_broadcast
+from repro.sim.energy import EnergyModel, energy_of_broadcast
+
+
+class TestEnergyModel:
+    def test_defaults_are_positive_and_ordered(self):
+        model = EnergyModel()
+        assert model.tx_cost >= model.rx_cost > model.idle_cost
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(tx_cost=-1)
+
+
+class TestEnergyOfBroadcast:
+    def test_figure1_accounting_by_hand(self, figure1):
+        topo, source = figure1
+        result = run_broadcast(topo, source, GreedyOptPolicy())
+        model = EnergyModel(tx_cost=10.0, rx_cost=2.0, idle_cost=0.0)
+        report = energy_of_broadcast(topo, result, model)
+        # Transmitters: s, 1, 0, 4 -> 4 transmissions.
+        assert report.transmissions == 4
+        assert report.transmission_energy == pytest.approx(40.0)
+        # Receptions: every neighbour of each transmitter hears it.
+        expected_receptions = sum(
+            topo.degree(u) for advance in result.advances for u in advance.color
+        )
+        assert report.receptions == expected_receptions
+        assert report.total == pytest.approx(
+            40.0 + expected_receptions * 2.0
+        )
+
+    def test_per_node_sums_to_total(self, small_deployment):
+        topo, source = small_deployment
+        result = run_broadcast(topo, source, EModelPolicy())
+        report = energy_of_broadcast(topo, result)
+        assert sum(report.per_node.values()) == pytest.approx(report.total)
+        assert set(report.per_node) == set(topo.node_ids)
+
+    def test_idle_energy_counts_window_slots(self, figure2_duty):
+        topo, source, schedule = figure2_duty
+        result = run_broadcast(
+            topo, source, GreedyOptPolicy(), schedule=schedule, start_time=2
+        )
+        model = EnergyModel(tx_cost=0.0, rx_cost=0.0, idle_cost=1.0)
+        report = energy_of_broadcast(topo, result, model)
+        # Window is 3 slots and 5 nodes; every listening event replaces one
+        # idle slot for that node.
+        assert report.idle_slots == 3 * topo.num_nodes - report.receptions
+        assert report.total == pytest.approx(report.idle_energy)
+
+    def test_hottest_node_is_a_transmitter_or_busy_receiver(self, small_deployment):
+        topo, source = small_deployment
+        result = run_broadcast(topo, source, EModelPolicy())
+        report = energy_of_broadcast(topo, result)
+        node, energy = report.hottest_node()
+        assert energy == max(report.per_node.values())
+        assert node in topo.node_set
+
+    def test_shorter_schedules_save_idle_energy(self, medium_deployment):
+        """The pipeline's shorter broadcast window saves idle-listening energy
+        network-wide, even though the minimal-parent-cover baseline may use
+        slightly fewer transmissions."""
+        from repro.baselines.approx26 import Approx26Policy
+
+        topo, source = medium_deployment
+        idle_only = EnergyModel(tx_cost=0.0, rx_cost=0.0, idle_cost=1.0)
+        gopt_trace = run_broadcast(topo, source, GreedyOptPolicy())
+        baseline_trace = run_broadcast(topo, source, Approx26Policy())
+        gopt = energy_of_broadcast(topo, gopt_trace, idle_only)
+        baseline = energy_of_broadcast(topo, baseline_trace, idle_only)
+        assert gopt_trace.latency < baseline_trace.latency
+        assert gopt.total < baseline.total
+        assert gopt.transmissions > 0 and baseline.transmissions > 0
+
+    def test_mean_energy_per_node(self, figure2):
+        topo, source = figure2
+        result = run_broadcast(topo, source, GreedyOptPolicy())
+        report = energy_of_broadcast(topo, result)
+        assert report.energy_per_node() == pytest.approx(report.total / topo.num_nodes)

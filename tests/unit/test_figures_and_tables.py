@@ -1,0 +1,122 @@
+"""Unit tests for repro.experiments.figures and repro.experiments.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.time_counter import SearchConfig
+from repro.experiments.config import SweepConfig
+from repro.experiments.figures import FigureResult, figure3, figure4, figure5
+from repro.experiments.tables import table2, table3, table4
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> SweepConfig:
+    """A deliberately tiny sweep so figure generators stay fast in unit tests."""
+    return SweepConfig(
+        node_counts=(40, 60),
+        repetitions=1,
+        area_side=30.0,
+        radius=9.0,
+        source_min_ecc=3,
+        source_max_ecc=None,
+        search=SearchConfig(mode="beam", beam_width=2),
+        max_color_classes=8,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig3(tiny_config) -> FigureResult:
+    return figure3(tiny_config)
+
+
+@pytest.fixture(scope="module")
+def fig4(tiny_config) -> FigureResult:
+    return figure4(tiny_config)
+
+
+class TestFigure3:
+    def test_series_present(self, fig3):
+        assert set(fig3.series) == {
+            "26-approx",
+            "OPT",
+            "G-OPT",
+            "E-model",
+            "OPT-analysis",
+        }
+
+    def test_x_axis_is_density(self, fig3, tiny_config):
+        assert fig3.x_values == tiny_config.densities
+        assert "density" in fig3.x_label
+
+    def test_scheduler_ordering(self, fig3):
+        """OPT <= G-OPT <= E-model <= 26-approx at every density (means)."""
+        for index in range(len(fig3.x_values)):
+            opt = fig3.series_for("OPT")[index]
+            gopt = fig3.series_for("G-OPT")[index]
+            emodel = fig3.series_for("E-model")[index]
+            baseline = fig3.series_for("26-approx")[index]
+            assert opt <= gopt + 1e-9
+            assert gopt <= emodel + 1e-9
+            assert emodel <= baseline + 1e-9
+
+    def test_text_and_csv_rendering(self, fig3):
+        text = fig3.to_text()
+        assert "Figure 3" in text and "G-OPT" in text
+        csv = fig3.to_csv()
+        assert csv.splitlines()[0].startswith("density")
+        assert len(csv.strip().splitlines()) == 1 + len(fig3.x_values)
+
+    def test_unknown_series_error_lists_names(self, fig3):
+        with pytest.raises(KeyError, match="available"):
+            fig3.series_for("nonexistent")
+
+
+class TestFigure4And5:
+    def test_duty_series_present(self, fig4):
+        assert set(fig4.series) == {"17-approx", "OPT", "G-OPT", "E-model"}
+
+    def test_duty_ordering(self, fig4):
+        for index in range(len(fig4.x_values)):
+            assert fig4.series_for("OPT")[index] <= fig4.series_for("G-OPT")[index] + 1e-9
+            assert (
+                fig4.series_for("G-OPT")[index]
+                <= fig4.series_for("17-approx")[index] + 1e-9
+            )
+
+    def test_figure5_bounds_dominate_experiments(self, tiny_config, fig4):
+        fig5 = figure5(tiny_config, sweep=fig4.sweep)
+        bound = fig5.series_for("OPT-analysis (2r(d+2))")
+        baseline_bound = fig5.series_for("17-approx bound (17kd)")
+        for index in range(len(fig5.x_values)):
+            assert bound[index] >= fig4.series_for("OPT")[index]
+            assert baseline_bound[index] >= bound[index]
+
+
+class TestTables:
+    def test_table2_matches_paper(self):
+        result = table2()
+        assert result.end_time == 2
+        assert result.matches_paper
+        assert result.rows[0].selected_color == (1,)
+        assert result.rows[1].selected_color == (2,)
+
+    def test_table3_matches_paper(self):
+        result = table3()
+        assert result.end_time == 3
+        assert result.matches_paper
+        assert result.rows[1].selected_color == (1,)
+        assert result.rows[2].selected_color == (0, 4)
+        assert set(result.rows[2].receivers) == {5, 6, 7, 8, 9}
+
+    def test_table4_matches_paper(self):
+        result = table4()
+        assert result.end_time == 4
+        assert result.matches_paper
+        assert result.rows[-1].time == 4
+
+    def test_table_text_rendering(self):
+        text = table3().to_text()
+        assert "Table III" in text
+        assert "P(A) = 3" in text

@@ -1,0 +1,52 @@
+"""Unit tests for the reference policies in repro.baselines.flooding."""
+
+from __future__ import annotations
+
+from repro.baselines.flooding import FloodingPolicy, LargestFirstPolicy
+from repro.core.advance import BroadcastState
+from repro.core.coloring import greedy_color_classes
+from repro.sim.broadcast import run_broadcast
+
+
+class TestFloodingPolicy:
+    def test_latency_equals_eccentricity(self, figure1, figure2, small_deployment):
+        for topo, source in (figure1, figure2, small_deployment):
+            result = run_broadcast(topo, source, FloodingPolicy(), validate=False)
+            assert result.latency == topo.eccentricity(source)
+
+    def test_every_frontier_node_transmits(self, figure1):
+        topo, source = figure1
+        policy = FloodingPolicy()
+        covered = frozenset({source, 0, 1, 2})
+        state = BroadcastState(topo, covered, time=2)
+        advance = policy.select_advance(state)
+        assert advance is not None
+        assert advance.color == frozenset({0, 1, 2})
+
+    def test_none_when_complete(self, figure2):
+        topo, _ = figure2
+        state = BroadcastState(topo, topo.node_set, time=4)
+        assert FloodingPolicy().select_advance(state) is None
+
+
+class TestLargestFirstPolicy:
+    def test_selects_first_greedy_class(self, figure1):
+        topo, source = figure1
+        covered = frozenset({source, 0, 1, 2})
+        state = BroadcastState(topo, covered, time=2)
+        advance = LargestFirstPolicy().select_advance(state)
+        assert advance is not None
+        assert advance.color == greedy_color_classes(topo, covered)[0]
+        assert advance.color == frozenset({0})
+
+    def test_figure1_naive_choice_costs_an_extra_round(self, figure1):
+        """The paper's motivating observation: most-receivers-first is not optimal."""
+        topo, source = figure1
+        result = run_broadcast(topo, source, LargestFirstPolicy())
+        assert result.latency == 4
+
+    def test_valid_on_random_deployment(self, small_deployment):
+        topo, source = small_deployment
+        result = run_broadcast(topo, source, LargestFirstPolicy())
+        assert result.covered == topo.node_set
+        assert result.latency >= topo.eccentricity(source)

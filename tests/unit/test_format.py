@@ -1,0 +1,53 @@
+"""Unit tests for repro.utils.format."""
+
+from __future__ import annotations
+
+from repro.utils.format import format_series_table, format_table, to_csv
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["beta", 2.5]])
+        assert "name" in text and "value" in text
+        assert "alpha" in text and "beta" in text
+        assert "2.50" in text  # floats use the default 2-decimal format
+
+    def test_alignment_consistent_widths(self):
+        text = format_table(["a"], [["short"], ["much-longer-cell"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeriesTable:
+    def test_one_row_per_x(self):
+        text = format_series_table(
+            "density", [0.02, 0.04], {"OPT": [3.0, 4.0], "E": [4.0, 5.0]}
+        )
+        lines = text.splitlines()
+        # header + separator + 2 data rows
+        assert len(lines) == 4
+        assert "OPT" in lines[0] and "E" in lines[0]
+
+    def test_short_series_padded_with_nan(self):
+        text = format_series_table("x", [1, 2], {"s": [1.0]})
+        assert "nan" in text
+
+
+class TestToCsv:
+    def test_round_trip_structure(self):
+        csv = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert lines[2] == "3,4"
+
+    def test_empty(self):
+        assert to_csv(["a"], []).strip() == "a"

@@ -1,0 +1,107 @@
+"""Unit tests for the paper example topologies (repro.network.graphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.graphs import (
+    FIGURE1_SOURCE,
+    FIGURE2_DUTY_RATE,
+    FIGURE2_DUTY_START,
+    FIGURE2_SOURCE,
+    figure1_topology,
+    figure2_duty_schedule,
+    figure2_topology,
+)
+
+
+class TestFigure1:
+    def test_node_set(self, figure1):
+        topo, source = figure1
+        assert topo.num_nodes == 12
+        assert source == FIGURE1_SOURCE
+        assert topo.node_set == frozenset(range(11)) | {FIGURE1_SOURCE}
+
+    def test_source_neighbors_are_relay_candidates(self, figure1):
+        topo, source = figure1
+        assert topo.neighbors(source) == frozenset({0, 1, 2})
+
+    def test_all_candidates_conflict_at_node_3(self, figure1):
+        topo, _ = figure1
+        assert 3 in topo.neighbors(0)
+        assert 3 in topo.neighbors(1)
+        assert 3 in topo.neighbors(2)
+
+    def test_relay_coverage_matches_paper(self, figure1):
+        """Table III: N(0) reaches {3,5,6,7}, N(1) reaches {3,4,10}, N(2) reaches {3}."""
+        topo, source = figure1
+        covered = frozenset({source, 0, 1, 2})
+        assert topo.uncovered_neighbors(0, covered) == frozenset({3, 5, 6, 7})
+        assert topo.uncovered_neighbors(1, covered) == frozenset({3, 4, 10})
+        assert topo.uncovered_neighbors(2, covered) == frozenset({3})
+
+    def test_farthest_nodes_are_8_and_9_at_three_hops(self, figure1):
+        topo, source = figure1
+        distances = topo.hop_distances(source)
+        assert distances[8] == 3 and distances[9] == 3
+        assert topo.eccentricity(source) == 3
+        assert all(d <= 3 for d in distances.values())
+
+    def test_connected(self, figure1):
+        topo, _ = figure1
+        assert topo.is_connected()
+
+    def test_nodes_zero_and_four_are_interference_free_after_round_two(self, figure1):
+        """The Figure 1(c) pipeline: 0 and 4 can relay concurrently."""
+        from repro.network.interference import conflict_free
+
+        topo, source = figure1
+        covered = frozenset({source, 0, 1, 2, 3, 4, 10})
+        assert conflict_free(topo, [0, 4], covered)
+
+
+class TestFigure2:
+    def test_structure(self, figure2):
+        topo, source = figure2
+        assert topo.num_nodes == 5
+        assert source == FIGURE2_SOURCE
+        assert topo.neighbors(1) == frozenset({2, 3})
+        assert topo.neighbors(2) == frozenset({1, 4, 5})
+        assert topo.neighbors(3) == frozenset({1, 4})
+
+    def test_conflict_at_node_4(self, figure2):
+        from repro.network.interference import has_conflict
+
+        topo, _ = figure2
+        assert has_conflict(topo, 2, 3, covered=frozenset({1, 2, 3}))
+
+    def test_eccentricity(self, figure2):
+        topo, source = figure2
+        assert topo.eccentricity(source) == 2
+
+
+class TestFigure2DutySchedule:
+    def test_rate_and_constants(self):
+        schedule = figure2_duty_schedule()
+        assert schedule.rate == FIGURE2_DUTY_RATE == 10
+        assert FIGURE2_DUTY_START == 2
+
+    def test_source_awake_at_start(self):
+        schedule = figure2_duty_schedule()
+        assert schedule.is_active(1, FIGURE2_DUTY_START)
+
+    def test_nodes_2_and_3_wake_together_at_slot_4(self):
+        schedule = figure2_duty_schedule()
+        assert schedule.is_active(2, 4)
+        assert schedule.is_active(3, 4)
+        assert not schedule.is_active(2, 3)
+        assert not schedule.is_active(3, 3)
+
+    def test_node_2_next_wakeup_is_a_cycle_later(self):
+        schedule = figure2_duty_schedule()
+        assert schedule.next_active_slot(2, 5) == 14
+
+    def test_covers_every_figure2_node(self, figure2):
+        topo, _ = figure2
+        schedule = figure2_duty_schedule()
+        assert set(schedule.node_ids) == set(topo.node_ids)

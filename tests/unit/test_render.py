@@ -1,0 +1,67 @@
+"""Unit tests for the text renderers (repro.sim.render)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import GreedyOptPolicy
+from repro.network.topology import WSNTopology
+from repro.sim.broadcast import run_broadcast
+from repro.sim.render import render_schedule_timeline, render_topology_ascii
+
+
+class TestRenderTopologyAscii:
+    def test_contains_every_node_marker(self, figure2):
+        topo, source = figure2
+        art = render_topology_ascii(topo, width=20, height=10, highlight=source)
+        assert art.count("*") + art.count("#") + art.count("S") >= 1
+        assert "S = node 1" in art
+        assert f"{topo.num_nodes} nodes" in art
+
+    def test_grid_dimensions_respected(self, small_grid):
+        art = render_topology_ascii(small_grid, width=30, height=12)
+        lines = art.splitlines()
+        # border + height rows + border + legend
+        assert len(lines) == 12 + 3
+        assert all(len(line) == 32 for line in lines[: 12 + 2])
+
+    def test_empty_topology(self):
+        topo = WSNTopology([], {})
+        assert "empty" in render_topology_ascii(topo)
+
+    def test_invalid_dimensions(self, figure2):
+        topo, _ = figure2
+        with pytest.raises(ValueError):
+            render_topology_ascii(topo, width=1, height=1)
+
+
+class TestRenderScheduleTimeline:
+    def test_synchronous_timeline(self, figure1):
+        topo, source = figure1
+        result = run_broadcast(topo, source, GreedyOptPolicy())
+        text = render_schedule_timeline(result)
+        assert "P(A) = 3 rounds" in text
+        assert "round    1" in text
+        assert "round    3" in text
+        assert "covered 12 nodes" in text
+
+    def test_duty_timeline_marks_idle_slots(self, figure2_duty):
+        topo, source, schedule = figure2_duty
+        result = run_broadcast(
+            topo, source, GreedyOptPolicy(), schedule=schedule, start_time=2
+        )
+        text = render_schedule_timeline(result)
+        assert "slot" in text
+        assert "idle" in text  # slot 3 has no awake frontier node
+
+    def test_truncation_of_long_traces(self, medium_deployment):
+        topo, source = medium_deployment
+        result = run_broadcast(topo, source, GreedyOptPolicy())
+        text = render_schedule_timeline(result, max_entries=2)
+        assert "omitted" in text
+
+    def test_invalid_max_entries(self, figure2):
+        topo, source = figure2
+        result = run_broadcast(topo, source, GreedyOptPolicy())
+        with pytest.raises(ValueError):
+            render_schedule_timeline(result, max_entries=0)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.experiments.report and repro.experiments.cli."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import ClaimCheck, claims_to_text, summary_claims
+
+
+def _synthetic_fig3() -> FigureResult:
+    return FigureResult(
+        name="Figure 3",
+        title="synthetic",
+        x_label="density",
+        x_values=(0.02, 0.04),
+        series={
+            "26-approx": [20.0, 24.0],
+            "OPT": [6.0, 7.0],
+            "G-OPT": [6.0, 8.0],
+            "E-model": [7.0, 9.0],
+            "OPT-analysis": [8.0, 9.0],
+        },
+    )
+
+
+def _synthetic_duty(name: str) -> FigureResult:
+    return FigureResult(
+        name=name,
+        title="synthetic",
+        x_label="density",
+        x_values=(0.02, 0.04),
+        series={
+            "17-approx": [100.0, 120.0],
+            "OPT": [15.0, 18.0],
+            "G-OPT": [15.0, 19.0],
+            "E-model": [20.0, 25.0],
+        },
+    )
+
+
+class TestSummaryClaims:
+    def test_claims_computed_and_hold_on_synthetic_data(self):
+        checks = summary_claims(_synthetic_fig3(), _synthetic_duty("Figure 4"), _synthetic_duty("Figure 6"))
+        assert len(checks) == 5
+        assert all(isinstance(c, ClaimCheck) for c in checks)
+        assert all(c.holds for c in checks)
+
+    def test_improvement_value_matches_hand_computation(self):
+        checks = summary_claims(_synthetic_fig3())
+        sync_claim = checks[0]
+        # mean baseline 22, mean G-OPT 7 -> (22-7)/22 = 68.2%
+        assert sync_claim.value == pytest.approx(100 * (22 - 7) / 22, abs=0.1)
+
+    def test_gap_claim_detects_violation(self):
+        figure = _synthetic_fig3()
+        figure.series["G-OPT"] = [10.0, 12.0]  # gap of 5 rounds vs OPT
+        checks = summary_claims(figure)
+        gap_claim = next(c for c in checks if "within 2 rounds" in c.claim)
+        assert not gap_claim.holds
+
+    def test_claims_text_rendering(self):
+        text = claims_to_text(summary_claims(_synthetic_fig3()))
+        assert "claim" in text
+        assert "26-approximation" in text
+
+
+class TestCli:
+    def test_parser_targets(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure3", "--scale", "quick"])
+        assert args.target == "figure3"
+        assert args.scale == "quick"
+
+    def test_invalid_target_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure99"])
+
+    def test_main_runs_tables_without_sweeps(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table II" in output
+        assert "P(A) = 2" in output
+
+    def test_main_writes_csv_for_figures(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        exit_code = main(
+            ["figure3", "--scale", "quick", "--repetitions", "1", "--csv-dir", str(tmp_path)]
+        )
+        assert exit_code == 0
+        csv_path = tmp_path / "figure3.csv"
+        assert csv_path.exists()
+        assert "G-OPT" in csv_path.read_text()
+        assert "Figure 3" in capsys.readouterr().out
