@@ -31,6 +31,7 @@ class FloodingPolicy(SchedulingPolicy):
 
     name = "flooding"
     interference_free = False
+    frontier_driven = True
 
     def select_advance(self, state: BroadcastState) -> Advance | None:
         if state.is_complete:
@@ -56,6 +57,7 @@ class LargestFirstPolicy(SchedulingPolicy):
     """Pipelined scheduling with the naive "most receivers first" selection."""
 
     name = "largest-first"
+    frontier_driven = True
 
     def select_advance(self, state: BroadcastState) -> Advance | None:
         if state.is_complete:

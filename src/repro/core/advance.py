@@ -50,6 +50,29 @@ class BroadcastState:
         if self.time < 1:
             raise ValueError(f"time is 1-based, got {self.time}")
 
+    @classmethod
+    def for_engine(
+        cls,
+        topology: WSNTopology,
+        covered: frozenset[int],
+        time: int,
+        schedule: WakeupSchedule | None,
+    ) -> "BroadcastState":
+        """Internal fast constructor for the simulation engines.
+
+        Skips the membership re-validation of ``__post_init__``: the engines
+        construct one state per simulated round/slot and their covered sets
+        are valid by construction (they only grow by checked receiver
+        sets), so the ``O(|W|)`` subset check would dominate the per-slot
+        cost at scale.  External callers should use the normal constructor.
+        """
+        state = object.__new__(cls)
+        object.__setattr__(state, "topology", topology)
+        object.__setattr__(state, "covered", covered)
+        object.__setattr__(state, "time", time)
+        object.__setattr__(state, "schedule", schedule)
+        return state
+
     @property
     def uncovered(self) -> frozenset[int]:
         """``W̄ = N - W``."""

@@ -99,6 +99,7 @@ class LocalizedEModelPolicy(SchedulingPolicy):
     """
 
     name = "localized-E"
+    frontier_driven = True
 
     def __init__(
         self,

@@ -56,6 +56,19 @@ class SchedulingPolicy(ABC):
     #: schedule).
     interference_free: bool = True
 
+    #: Whether the policy is *frontier-driven*: it returns ``None`` (with no
+    #: state change) whenever no covered node with an uncovered neighbour is
+    #: awake at the current slot.  Declaring this lets the vectorized slot
+    #: engine jump over such idle slots without invoking the policy, which
+    #: is trace-preserving for policies that keep the promise.  The default
+    #: is the fail-safe False — every slot is offered — because a subclass
+    #: may legally emit advances with no uncovered receivers (the layered
+    #: 17-approximation does exactly that when another parent already
+    #: covered a node's children) or mutate per-call state.  The frontier
+    #: schedulers of this package (OPT, G-OPT, E-model, flooding,
+    #: largest-first) opt in explicitly.
+    frontier_driven: bool = False
+
     def prepare(
         self,
         topology: WSNTopology,
@@ -63,6 +76,19 @@ class SchedulingPolicy(ABC):
         source: int,
     ) -> None:
         """Per-broadcast initialisation hook (default: nothing to do)."""
+
+    def next_decision_slot(self, time: int) -> int | None:
+        """Earliest slot >= ``time`` at which the policy might transmit.
+
+        A fast-forward hint for the vectorized engine: returning ``s`` is a
+        promise that :meth:`select_advance` answers ``None`` for every slot
+        in ``[time, s)``, so the engine may jump straight to ``s`` without
+        offering the intermediate slots.  Returning ``None`` (the default)
+        makes no promise — every slot is offered as usual.  Policies that
+        precompute their transmission times (replays, layer-schedule
+        baselines) can override this; the reference engines ignore it.
+        """
+        return None
 
     @abstractmethod
     def select_advance(self, state: BroadcastState) -> Advance | None:
@@ -79,6 +105,10 @@ class SchedulingPolicy(ABC):
 
 class _TimeCounterPolicy(SchedulingPolicy):
     """Shared implementation of the two ``M``-driven schedulers."""
+
+    #: Colours come from the (awake) frontier only, so an idle frontier slot
+    #: always yields ``None`` with no state change.
+    frontier_driven = True
 
     #: Colour provider used at the decision point (top level of Eq. 5/7).
     _decision_scheme: ColorScheme
@@ -239,6 +269,7 @@ class EModelPolicy(SchedulingPolicy):
     """
 
     name = "E-model"
+    frontier_driven = True
 
     def __init__(
         self,

@@ -16,6 +16,7 @@ The same entry point is reachable with ``python -m repro.experiments``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from pathlib import Path
@@ -73,6 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each result as CSV into this directory",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel worker processes for the sweeps (0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["reference", "vectorized"],
+        default=None,
+        help="simulation backend (default: reference; both are bit-identical)",
+    )
     return parser
 
 
@@ -86,6 +100,10 @@ def _config_from_args(args: argparse.Namespace) -> SweepConfig:
         config = PAPER_SWEEP if scale == "paper" else QUICK_SWEEP
     if args.repetitions is not None:
         config = config.with_repetitions(args.repetitions)
+    if args.workers is not None:
+        config = dataclasses.replace(config, workers=args.workers)
+    if args.engine is not None:
+        config = dataclasses.replace(config, engine=args.engine)
     return config
 
 

@@ -68,6 +68,13 @@ class SweepConfig:
         Enumeration cap of the OPT policy's admissible colours.
     duty_rates:
         Cycle rates used by the duty-cycle figures (10 = heavy, 50 = light).
+    engine:
+        Simulation backend: ``"reference"`` (frozenset/bigint oracle) or
+        ``"vectorized"`` (numpy bitset fast path); both produce bit-identical
+        traces.
+    workers:
+        Worker processes for the sweep runner; 1 runs in-process, 0 means
+        "one per CPU".
     """
 
     node_counts: tuple[int, ...] = (50, 100, 150, 200, 250, 300)
@@ -82,11 +89,18 @@ class SweepConfig:
     )
     max_color_classes: int | None = 32
     duty_rates: tuple[int, ...] = (10, 50)
+    engine: str = "reference"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         require(len(self.node_counts) > 0, "node_counts must not be empty")
         require(all(n >= 2 for n in self.node_counts), "node counts must be >= 2")
         require(self.repetitions >= 1, "repetitions must be >= 1")
+        require(
+            self.engine in ("reference", "vectorized"),
+            f"unknown engine {self.engine!r}; expected 'reference' or 'vectorized'",
+        )
+        require(self.workers >= 0, "workers must be >= 0 (0 = one per CPU)")
 
     @property
     def densities(self) -> tuple[float, ...]:

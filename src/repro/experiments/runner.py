@@ -6,10 +6,23 @@ the comparison is paired, exactly like the paper's simulator: for each node
 count and repetition a deployment is generated, the source is selected, and
 each policy broadcasts from the same source over the same topology (and, in
 the duty-cycle system, the same wake-up schedule).
+
+The grid is embarrassingly parallel across ``(node count, repetition)``
+cells: every cell derives its own seed with :func:`repro.utils.rng.derive_seed`
+from the experiment seed and its coordinates, so the records are
+bit-identical no matter how the cells are chunked or which worker executes
+them.  ``run_sweep(..., workers=N)`` fans the cells out over a process pool
+(``workers=0`` means one per CPU) and re-assembles the records in the
+deterministic serial order; ``engine="vectorized"`` switches every broadcast
+(and its validation) to the numpy bitset backend.
 """
 
 from __future__ import annotations
 
+import functools
+import multiprocessing
+import os
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -23,7 +36,7 @@ from repro.sim.broadcast import run_broadcast
 from repro.sim.metrics import aggregate_latency
 from repro.utils.rng import derive_seed
 
-__all__ = ["RunRecord", "SweepResult", "run_sweep", "default_policies"]
+__all__ = ["RunRecord", "SweepResult", "run_sweep", "default_policies", "SweepCell"]
 
 PolicyFactory = Callable[[], SchedulingPolicy]
 
@@ -143,26 +156,115 @@ def default_policies(
 
     Round-based: 26-approximation, OPT, G-OPT, E-model (Figure 3).
     Duty-cycle: 17-approximation, OPT, G-OPT, E-model (Figures 4 and 6).
+
+    The factories are :func:`functools.partial` objects over importable
+    classes, so the mapping pickles cleanly into worker processes.
     """
     if system == "sync":
         return {
             "26-approx": Approx26Policy,
-            "OPT": lambda: OptPolicy(
-                search=config.search, max_color_classes=config.max_color_classes
+            "OPT": functools.partial(
+                OptPolicy, search=config.search, max_color_classes=config.max_color_classes
             ),
-            "G-OPT": lambda: GreedyOptPolicy(search=config.search),
+            "G-OPT": functools.partial(GreedyOptPolicy, search=config.search),
             "E-model": EModelPolicy,
         }
     if system == "duty":
         return {
             "17-approx": Approx17Policy,
-            "OPT": lambda: OptPolicy(
-                search=config.search, max_color_classes=config.max_color_classes
+            "OPT": functools.partial(
+                OptPolicy, search=config.search, max_color_classes=config.max_color_classes
             ),
-            "G-OPT": lambda: GreedyOptPolicy(search=config.search),
+            "G-OPT": functools.partial(GreedyOptPolicy, search=config.search),
             "E-model": EModelPolicy,
         }
     raise ValueError(f"unknown system {system!r}; expected 'sync' or 'duty'")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independently executable cell of the sweep grid.
+
+    A cell is a single ``(node count, repetition)`` pair together with
+    everything a worker needs to reproduce it from scratch: the sweep
+    configuration (for geometry and seeds), the system model, and the policy
+    line-up (``None`` selects :func:`default_policies` inside the worker, so
+    the default grid never pickles factories at all).
+    """
+
+    config: SweepConfig
+    system: str
+    rate: int
+    num_nodes: int
+    repetition: int
+    engine: str
+    policies: tuple[tuple[str, PolicyFactory], ...] | None = None
+
+
+def _run_cell(cell: SweepCell) -> list[RunRecord]:
+    """Execute one sweep cell; the unit of work of the process pool."""
+    config = cell.config
+    if cell.policies is None:
+        policies: Mapping[str, PolicyFactory] = default_policies(config, cell.system)
+    else:
+        policies = dict(cell.policies)
+    area = config.area_side * config.area_side
+    seed = derive_seed(
+        config.seed, cell.system, cell.rate, cell.num_nodes, cell.repetition
+    )
+    deployment_config = DeploymentConfig(
+        num_nodes=cell.num_nodes,
+        area_side=config.area_side,
+        radius=config.radius,
+        source_min_ecc=config.source_min_ecc,
+        source_max_ecc=config.source_max_ecc,
+    )
+    topology, source = deploy_uniform(config=deployment_config, seed=seed)
+    schedule = None
+    if cell.system == "duty":
+        schedule = WakeupSchedule(
+            topology.node_ids,
+            rate=cell.rate,
+            seed=derive_seed(seed, "wakeup-schedule"),
+        )
+    eccentricity = topology.eccentricity(source)
+
+    records: list[RunRecord] = []
+    for name, factory in policies.items():
+        policy = factory()
+        trace = run_broadcast(
+            topology,
+            source,
+            policy,
+            schedule=schedule,
+            align_start=cell.system == "duty",
+            engine=cell.engine,
+        )
+        records.append(
+            RunRecord(
+                policy=name,
+                system=cell.system,
+                rate=cell.rate if cell.system == "duty" else 1,
+                num_nodes=cell.num_nodes,
+                density=cell.num_nodes / area,
+                repetition=cell.repetition,
+                seed=seed,
+                source=source,
+                eccentricity=eccentricity,
+                latency=trace.latency,
+                end_time=trace.end_time,
+                num_advances=trace.num_advances,
+                total_transmissions=trace.total_transmissions,
+            )
+        )
+    return records
+
+
+def _resolve_workers(workers: int) -> int:
+    """Map the ``workers`` knob to a concrete process count (0 = per CPU)."""
+    if workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    return workers
 
 
 def run_sweep(
@@ -171,6 +273,8 @@ def run_sweep(
     system: str = "sync",
     rate: int = 10,
     policies: Mapping[str, PolicyFactory] | None = None,
+    workers: int | None = None,
+    engine: str | None = None,
 ) -> SweepResult:
     """Run the full sweep and return the collected records.
 
@@ -184,58 +288,58 @@ def run_sweep(
     rate:
         Cycle rate ``r`` for the duty-cycle system (ignored for ``"sync"``).
     policies:
-        Mapping ``name -> factory``; defaults to the paper's line-up.
+        Mapping ``name -> factory``; defaults to the paper's line-up.  With
+        ``workers > 1`` the factories must be picklable (classes,
+        ``functools.partial`` over classes, or module-level functions).
+    workers:
+        Worker processes; defaults to ``config.workers``.  ``1`` executes
+        in-process, ``0`` uses one worker per CPU.  The result is
+        bit-identical for every worker count: each grid cell derives its
+        own RNG stream from the experiment seed and its coordinates.
+    engine:
+        Simulation backend override (defaults to ``config.engine``).
     """
-    if policies is None:
-        policies = default_policies(config, system)
+    effective_workers = _resolve_workers(
+        config.workers if workers is None else workers
+    )
+    effective_engine = config.engine if engine is None else engine
     effective_rate = 1 if system == "sync" else rate
+    if system not in ("sync", "duty"):
+        raise ValueError(f"unknown system {system!r}; expected 'sync' or 'duty'")
+
+    frozen_policies = None if policies is None else tuple(policies.items())
+    cells = [
+        SweepCell(
+            config=config,
+            system=system,
+            rate=rate if system == "duty" else 1,
+            num_nodes=num_nodes,
+            repetition=repetition,
+            engine=effective_engine,
+            policies=frozen_policies,
+        )
+        for num_nodes in config.node_counts
+        for repetition in range(config.repetitions)
+    ]
+
     result = SweepResult(system=system, rate=effective_rate, config=config)
-    area = config.area_side * config.area_side
+    if effective_workers <= 1 or len(cells) <= 1:
+        for cell in cells:
+            result.records.extend(_run_cell(cell))
+        return result
 
-    for num_nodes in config.node_counts:
-        for repetition in range(config.repetitions):
-            seed = derive_seed(config.seed, system, effective_rate, num_nodes, repetition)
-            deployment_config = DeploymentConfig(
-                num_nodes=num_nodes,
-                area_side=config.area_side,
-                radius=config.radius,
-                source_min_ecc=config.source_min_ecc,
-                source_max_ecc=config.source_max_ecc,
-            )
-            topology, source = deploy_uniform(config=deployment_config, seed=seed)
-            schedule = None
-            if system == "duty":
-                schedule = WakeupSchedule(
-                    topology.node_ids,
-                    rate=rate,
-                    seed=derive_seed(seed, "wakeup-schedule"),
-                )
-            eccentricity = topology.eccentricity(source)
-
-            for name, factory in policies.items():
-                policy = factory()
-                trace = run_broadcast(
-                    topology,
-                    source,
-                    policy,
-                    schedule=schedule,
-                    align_start=system == "duty",
-                )
-                result.records.append(
-                    RunRecord(
-                        policy=name,
-                        system=system,
-                        rate=effective_rate,
-                        num_nodes=num_nodes,
-                        density=num_nodes / area,
-                        repetition=repetition,
-                        seed=seed,
-                        source=source,
-                        eccentricity=eccentricity,
-                        latency=trace.latency,
-                        end_time=trace.end_time,
-                        num_advances=trace.num_advances,
-                        total_transmissions=trace.total_transmissions,
-                    )
-                )
+    # "fork" on Linux (cheap start-up, no __main__ re-import, so it also
+    # works from interactive sessions); "spawn" everywhere else — macOS
+    # offers fork but it is unsafe there with Accelerate/objc state, which
+    # is why CPython made spawn the macOS default.  The cells are
+    # self-contained either way: the only pickled state is the cell itself.
+    use_fork = (
+        sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    context = multiprocessing.get_context("fork" if use_fork else "spawn")
+    processes = min(effective_workers, len(cells))
+    with context.Pool(processes=processes) as pool:
+        for records in pool.imap(_run_cell, cells, chunksize=1):
+            result.records.extend(records)
     return result

@@ -1,5 +1,6 @@
 """WSN topology substrate: unit-disc graphs, deployments, quadrants, boundary."""
 
+from repro.network.bitset import BitsetTopology, bitset_view
 from repro.network.boundary import boundary_nodes, hull_nodes
 from repro.network.deployment import DeploymentConfig, deploy_uniform
 from repro.network.geometry import convex_hull, euclidean_distance
@@ -18,10 +19,12 @@ from repro.network.quadrant import QUADRANTS, quadrant_index, quadrant_neighbors
 from repro.network.topology import Node, WSNTopology
 
 __all__ = [
+    "BitsetTopology",
     "DeploymentConfig",
     "Node",
     "QUADRANTS",
     "WSNTopology",
+    "bitset_view",
     "boundary_nodes",
     "conflict_free",
     "conflicting_pairs",

@@ -82,6 +82,11 @@ class WSNTopology:
         "_id_to_index",
         "_neighbor_masks",
         "_full_mask",
+        "_node_set",
+        # Weak-referenceable so derived views (e.g. the vectorized backend's
+        # BitsetTopology) can be cached per topology without keeping dead
+        # topologies alive.
+        "__weakref__",
     )
 
     def __init__(
@@ -96,6 +101,7 @@ class WSNTopology:
             raise ValueError("duplicate node identifiers in topology")
         self._nodes: dict[NodeId, Node] = {n.node_id: n for n in node_list}
         self._node_ids: tuple[NodeId, ...] = tuple(ids)
+        self._node_set: frozenset[NodeId] = frozenset(ids)
         self._id_to_index: dict[NodeId, int] = {u: i for i, u in enumerate(ids)}
         self._positions = np.array([[n.x, n.y] for n in node_list], dtype=float)
         self._radius = radius
@@ -214,8 +220,12 @@ class WSNTopology:
 
     @property
     def node_set(self) -> frozenset[NodeId]:
-        """All node identifiers as a frozenset (the paper's ``N``)."""
-        return frozenset(self._node_ids)
+        """All node identifiers as a frozenset (the paper's ``N``).
+
+        Precomputed at construction: the simulation loops compare against
+        it once per round/slot.
+        """
+        return self._node_set
 
     def __len__(self) -> int:
         return self.num_nodes

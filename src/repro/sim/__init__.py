@@ -1,10 +1,12 @@
 """Broadcast simulators: engines, traces, validation and metrics."""
 
-from repro.sim.broadcast import run_broadcast
+from repro.sim.broadcast import ENGINE_BACKENDS, run_broadcast
 from repro.sim.energy import EnergyModel, EnergyReport, energy_of_broadcast
 from repro.sim.engine import RoundEngine, SimulationTimeout, SlotEngine
+from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
 from repro.sim.metrics import BroadcastMetrics, improvement_percent
 from repro.sim.render import render_schedule_timeline, render_topology_ascii
+from repro.sim.replay import ReplayPolicy
 from repro.sim.trace import BroadcastResult
 from repro.sim.unreliable import (
     LossyRoundEngine,
@@ -17,10 +19,14 @@ from repro.sim.validation import ScheduleViolation, assert_valid, validate_broad
 __all__ = [
     "BroadcastMetrics",
     "BroadcastResult",
+    "ENGINE_BACKENDS",
     "EnergyModel",
     "EnergyReport",
+    "FastRoundEngine",
+    "FastSlotEngine",
     "LossyRoundEngine",
     "LossySlotEngine",
+    "ReplayPolicy",
     "RoundEngine",
     "ScheduleViolation",
     "SimulationTimeout",

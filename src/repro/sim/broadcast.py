@@ -13,10 +13,18 @@ from repro.core.policies import SchedulingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.topology import WSNTopology
 from repro.sim.engine import RoundEngine, SlotEngine
+from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
 from repro.sim.trace import BroadcastResult
 from repro.sim.validation import assert_valid
 
-__all__ = ["run_broadcast"]
+__all__ = ["run_broadcast", "ENGINE_BACKENDS"]
+
+#: Engine backends selectable via ``run_broadcast(..., engine=...)``:
+#: ``(round_engine_cls, slot_engine_cls)`` per backend name.
+ENGINE_BACKENDS = {
+    "reference": (RoundEngine, SlotEngine),
+    "vectorized": (FastRoundEngine, FastSlotEngine),
+}
 
 
 def run_broadcast(
@@ -29,6 +37,7 @@ def run_broadcast(
     align_start: bool = False,
     max_time: int | None = None,
     validate: bool = True,
+    engine: str = "reference",
 ) -> BroadcastResult:
     """Broadcast from ``source`` under ``policy`` and return the trace.
 
@@ -55,6 +64,11 @@ def run_broadcast(
     validate:
         Re-validate the produced trace against the network model before
         returning (cheap; disable only in tight benchmarking loops).
+    engine:
+        ``"reference"`` (the frozenset/bigint engines, the correctness
+        oracle) or ``"vectorized"`` (the numpy bitset backend of
+        :mod:`repro.sim.fast_engine`).  Both produce bit-identical traces;
+        the vectorized backend is the fast path for large sweeps.
 
     Returns
     -------
@@ -62,14 +76,21 @@ def run_broadcast(
         The complete trace; ``result.latency`` is the paper's ``P(A)`` for
         ``start_time=1``.
     """
+    try:
+        round_engine_cls, slot_engine_cls = ENGINE_BACKENDS[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine backend {engine!r}; expected one of "
+            f"{sorted(ENGINE_BACKENDS)}"
+        ) from None
     policy.prepare(topology, schedule, source)
     if schedule is None:
-        engine = RoundEngine(topology)
-        result = engine.run(
+        round_engine = round_engine_cls(topology)
+        result = round_engine.run(
             policy, source, start_time=start_time, max_rounds=max_time
         )
     else:
-        slot_engine = SlotEngine(topology, schedule)
+        slot_engine = slot_engine_cls(topology, schedule)
         result = slot_engine.run(
             policy,
             source,
@@ -78,5 +99,5 @@ def run_broadcast(
             max_slots=max_time,
         )
     if validate:
-        assert_valid(topology, result, schedule=schedule)
+        assert_valid(topology, result, schedule=schedule, backend=engine)
     return result

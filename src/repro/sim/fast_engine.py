@@ -1,0 +1,388 @@
+"""Vectorized broadcast engines (the ``engine="vectorized"`` backend).
+
+:class:`FastRoundEngine` and :class:`FastSlotEngine` are drop-in
+replacements for :class:`~repro.sim.engine.RoundEngine` and
+:class:`~repro.sim.engine.SlotEngine`: same constructor and ``run``
+signatures, same :class:`~repro.core.policies.SchedulingPolicy` protocol,
+same error messages, and — by construction — *bit-identical*
+:class:`~repro.sim.trace.BroadcastResult` traces (the parity suite in
+``tests/property`` and ``benchmarks/test_engine_backends.py`` enforces
+this).  What changes is how the engine-side work is carried out:
+
+* coverage and receiver sets are boolean vectors over the
+  :class:`~repro.network.bitset.BitsetTopology` view, so interference
+  checking and advance validation are matrix slices instead of Python set
+  loops;
+* wake-up schedules are materialised into a lazily grown boolean activity
+  window (:meth:`~repro.dutycycle.schedule.WakeupSchedule.activity_window`),
+  so "is anyone on the frontier awake?" is a column reduction;
+* the default time limits (source eccentricity, max degree) come from the
+  view's vectorized BFS instead of the Python queue BFS;
+* for policies that declare themselves frontier-driven (OPT, G-OPT,
+  E-model, flooding, largest-first — see
+  :attr:`~repro.core.policies.SchedulingPolicy.frontier_driven`) the slot
+  engine *skips* slots in which no awake covered node has an uncovered
+  neighbour, because such policies promise to answer ``None`` there with
+  no state change.  Policies that keep the fail-safe default (e.g. the
+  layered 17-approximation, which may transmit a parent whose children
+  were already covered) are offered every slot, exactly like the
+  reference engine; the traces are identical either way.
+"""
+
+from __future__ import annotations
+
+import weakref
+from bisect import bisect_left
+
+import numpy as np
+
+from repro.core.advance import Advance, BroadcastState
+from repro.core.policies import SchedulingPolicy
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.bitset import BitsetTopology, bitset_view
+from repro.network.topology import WSNTopology
+from repro.sim.engine import SimulationTimeout
+from repro.sim.trace import BroadcastResult
+from repro.utils.validation import require
+
+__all__ = ["FastRoundEngine", "FastSlotEngine"]
+
+
+class _ActivityWindow:
+    """Lazily grown boolean activity matrix for one (schedule, topology) pair.
+
+    Rows follow the bitset view's node order; column ``j`` is slot
+    ``j + 1``.  The window doubles on demand, so short broadcasts never pay
+    for the engine's (deliberately generous) worst-case slot limit.
+    """
+
+    __slots__ = ("_schedule_ref", "_node_ids", "_matrix", "_horizon", "rate")
+
+    def __init__(self, schedule: WakeupSchedule, view: BitsetTopology) -> None:
+        # Weak back-reference: windows are cached per schedule in a
+        # WeakKeyDictionary, so a strong reference here would pin the key
+        # forever and leak the activity matrices.
+        self._schedule_ref = weakref.ref(schedule)
+        self._node_ids = [int(u) for u in view.node_ids]
+        self.rate = schedule.rate
+        self._horizon = 0
+        self._matrix = np.zeros((view.num_nodes, 0), dtype=bool)
+
+    def ensure(self, slot: int) -> None:
+        """Grow the window so that ``slot`` is materialised."""
+        if slot <= self._horizon:
+            return
+        schedule = self._schedule_ref()
+        if schedule is None:  # pragma: no cover - requires racing the GC
+            raise ReferenceError("the schedule behind this window was garbage-collected")
+        new_horizon = max(slot, max(self._horizon, 4 * self.rate, 64) * 2)
+        extension = schedule.activity_window(
+            self._node_ids, self._horizon + 1, new_horizon
+        )
+        self._matrix = np.concatenate([self._matrix, extension], axis=1)
+        self._horizon = new_horizon
+
+    def active_rows(self, rows: np.ndarray, slot: int) -> np.ndarray:
+        """Boolean activity of the given rows at ``slot``."""
+        self.ensure(slot)
+        return self._matrix[rows, slot - 1]
+
+    def any_active(self, rows: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Per-slot "some selected row is awake" over ``[start, stop]``."""
+        self.ensure(stop)
+        return self._matrix[rows, start - 1 : stop].any(axis=0)
+
+    def active_at(self, slots: np.ndarray) -> np.ndarray:
+        """Activity of every node at the given slots, as ``(n, len(slots))``."""
+        self.ensure(int(slots.max(initial=1)))
+        return self._matrix[:, slots - 1]
+
+    def active_pairs(self, rows: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Element-wise activity of ``(rows[i], slots[i])`` pairs."""
+        if len(slots) == 0:
+            return np.zeros(0, dtype=bool)
+        self.ensure(int(slots.max(initial=1)))
+        return self._matrix[rows, slots - 1]
+
+
+class _FrontierScan:
+    """Incremental "next slot with an awake frontier node" queries.
+
+    Built once per frontier change: scans the activity window in chunks,
+    records the absolute slots at which *some* frontier node is awake, and
+    answers subsequent queries with a bisect instead of a numpy reduction
+    per slot (the query is issued once per simulated slot, so per-call
+    overhead dominates at scale).
+    """
+
+    __slots__ = ("_window", "_rows", "_hits", "_scanned_until", "_chunk")
+
+    def __init__(self, window: _ActivityWindow, rows: np.ndarray, start: int) -> None:
+        self._window = window
+        self._rows = rows
+        self._hits: list[int] = []
+        self._scanned_until = start - 1
+        self._chunk = max(4 * window.rate, 64)
+
+    def next_active(self, slot: int, limit: int) -> int | None:
+        """Smallest slot in ``[slot, limit]`` with an awake frontier node."""
+        if len(self._rows) == 0:
+            return None
+        hits = self._hits
+        index = bisect_left(hits, slot)
+        while index >= len(hits):
+            if self._scanned_until >= limit:
+                return None
+            begin = self._scanned_until + 1
+            stop = min(begin + self._chunk - 1, limit)
+            segment = self._window.any_active(self._rows, begin, stop)
+            offsets = np.flatnonzero(segment)
+            if offsets.size:
+                hits.extend((begin + offsets).tolist())
+            self._scanned_until = stop
+            index = bisect_left(hits, slot)
+        return hits[index]
+
+
+_WINDOW_CACHE: (
+    "weakref.WeakKeyDictionary[WakeupSchedule, list[tuple[weakref.ref, _ActivityWindow]]]"
+) = weakref.WeakKeyDictionary()
+
+
+def _window_for(schedule: WakeupSchedule, view: BitsetTopology) -> _ActivityWindow:
+    """The cached activity window for a (schedule, topology-view) pair.
+
+    Views are matched by identity through weak references (not ``id()``,
+    which the allocator may recycle after a view is collected).
+    """
+    per_schedule = _WINDOW_CACHE.get(schedule)
+    if per_schedule is None:
+        per_schedule = []
+        _WINDOW_CACHE[schedule] = per_schedule
+    for view_ref, window in per_schedule:
+        if view_ref() is view:
+            return window
+    window = _ActivityWindow(schedule, view)
+    per_schedule[:] = [(r, w) for r, w in per_schedule if r() is not None]
+    per_schedule.append((weakref.ref(view), window))
+    return window
+
+
+class _FastEngineBase:
+    """Shared vectorized bookkeeping of both engines."""
+
+    def __init__(self, topology: WSNTopology) -> None:
+        self.topology = topology
+        self._view = bitset_view(topology)
+
+    def _check_advance(
+        self,
+        advance: Advance,
+        covered: frozenset[int],
+        covered_bool: np.ndarray,
+        time: int,
+        window: _ActivityWindow | None,
+        *,
+        check_conflicts: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate ``advance``; return its receivers as (bool vector, indices).
+
+        Raises exactly the errors (and messages) of the reference engine's
+        ``_check_advance``; the receiver representations are returned so the
+        caller can apply the coverage union without re-deriving them.
+        """
+        view = self._view
+        if advance.time != time:
+            raise ValueError(
+                f"policy returned an advance for time {advance.time}, expected {time}"
+            )
+        not_covered = advance.color - covered
+        if not_covered:
+            raise ValueError(
+                f"policy scheduled transmitters that do not hold the message: "
+                f"{sorted(not_covered)}"
+            )
+        tx_idx = view.indices(advance.color)
+        if window is not None:
+            awake = window.active_rows(tx_idx, time)
+            if not awake.all():
+                asleep = [int(u) for u in view.node_ids[tx_idx[~awake]]]
+                raise ValueError(
+                    f"policy scheduled sleeping transmitters at slot {time}: {sorted(asleep)}"
+                )
+        conflict, expected_bool = view.check_and_receivers(tx_idx, covered_bool)
+        if check_conflicts and conflict:
+            conflicts = view.conflicting_pairs(tx_idx, covered_bool)
+            raise ValueError(
+                f"policy scheduled conflicting transmitters at time {time}: {conflicts}"
+            )
+        # Set equality without materialising the expected frozenset: the
+        # recorded receivers are a set, so "same cardinality and every
+        # member expected" is equivalence.  Unknown node ids cannot match
+        # anything, so they raise the same mismatch error as the reference.
+        try:
+            recorded_idx = view.indices(advance.receivers)
+        except KeyError:
+            recorded_idx = None
+        if recorded_idx is None or len(recorded_idx) != int(
+            np.count_nonzero(expected_bool)
+        ) or not expected_bool[recorded_idx].all():
+            raise ValueError(
+                "advance.receivers does not match the uncovered neighbours of its "
+                f"transmitters at time {time}"
+            )
+        return expected_bool, recorded_idx
+
+    def _run(
+        self,
+        policy: SchedulingPolicy,
+        source: int,
+        start_time: int,
+        limit: int,
+        schedule: WakeupSchedule | None,
+    ) -> BroadcastResult:
+        require(source in self.topology, f"unknown source node {source}")
+        require(start_time >= 1, "start_time is 1-based")
+        view = self._view
+        num_nodes = view.num_nodes
+        check_conflicts = getattr(policy, "interference_free", True)
+        skip_idle = schedule is not None and getattr(policy, "frontier_driven", False)
+        window = None if schedule is None else _window_for(schedule, view)
+        # Fast-forward hint (see SchedulingPolicy.next_decision_slot); the
+        # base-class default always answers None (no promise).
+        hint = policy.next_decision_slot
+
+        covered: frozenset[int] = frozenset({source})
+        covered_bool = np.zeros(num_nodes, dtype=bool)
+        covered_bool[view.index_of(source)] = True
+        covered_count = 1
+        # Frontier = covered nodes with >= 1 uncovered neighbour, tracked
+        # incrementally: the per-node count of uncovered neighbours only
+        # decreases, by the adjacency columns of each advance's receivers.
+        uncovered_degree = view.degrees.astype(np.int64) - view.hear_counts(
+            np.asarray([view.index_of(source)], dtype=np.int64)
+        )
+        frontier_idx: np.ndarray | None = None
+        scan: _FrontierScan | None = None
+
+        advances: list[Advance] = []
+        time = start_time
+        end_time = start_time - 1
+
+        while covered_count != num_nodes:
+            hinted = hint(time)
+            if hinted is not None and hinted > time:
+                time = hinted
+            # When the policy explicitly promised a decision at this very
+            # slot, offering it is the cheapest correct move; the frontier
+            # probe/scan is for policies that make no such promise.
+            if skip_idle and hinted != time and time <= limit:
+                assert window is not None
+                if frontier_idx is None:
+                    frontier_idx = np.flatnonzero(covered_bool & (uncovered_degree > 0))
+                    scan = None
+                # Cheap single-column probe first; the chunked forward scan
+                # only runs through genuinely idle stretches.
+                if not window.active_rows(frontier_idx, time).any():
+                    if scan is None:
+                        scan = _FrontierScan(window, frontier_idx, time)
+                    next_slot = scan.next_active(time, limit)
+                    time = limit + 1 if next_slot is None else next_slot
+            if time > limit:
+                raise SimulationTimeout(
+                    f"broadcast did not complete by time {limit} "
+                    f"(covered {covered_count}/{num_nodes} nodes); the policy or the "
+                    "wake-up schedule is not making progress"
+                )
+            state = BroadcastState.for_engine(self.topology, covered, time, schedule)
+            advance = policy.select_advance(state)
+            if advance is not None:
+                receivers_bool, receivers_idx = self._check_advance(
+                    advance,
+                    covered,
+                    covered_bool,
+                    time,
+                    window,
+                    check_conflicts=check_conflicts,
+                )
+                if advance.receivers:
+                    covered = covered | advance.receivers
+                    covered_bool |= receivers_bool
+                    covered_count += len(advance.receivers)
+                    if skip_idle:
+                        uncovered_degree -= view.adjacency_u8[:, receivers_idx].sum(
+                            axis=1, dtype=np.int64
+                        )
+                        frontier_idx = None
+                    end_time = time
+                advances.append(advance)
+            time += 1
+
+        return BroadcastResult(
+            policy_name=policy.name,
+            source=source,
+            start_time=start_time,
+            end_time=max(end_time, start_time - 1),
+            covered=covered,
+            advances=tuple(advances),
+            synchronous=schedule is None,
+            cycle_rate=1 if schedule is None else schedule.rate,
+        )
+
+
+class FastRoundEngine(_FastEngineBase):
+    """Vectorized round-based engine (parity twin of ``RoundEngine``)."""
+
+    def run(
+        self,
+        policy: SchedulingPolicy,
+        source: int,
+        *,
+        start_time: int = 1,
+        max_rounds: int | None = None,
+    ) -> BroadcastResult:
+        """Simulate a broadcast; see :meth:`repro.sim.engine.RoundEngine.run`."""
+        require(source in self.topology, f"unknown source node {source}")
+        if max_rounds is None:
+            depth = max(self._view.eccentricity(source), 1)
+            max_rounds = depth * max(self._view.max_degree(), 1) + depth + 8
+        limit = start_time + max_rounds
+        return self._run(policy, source, start_time, limit, schedule=None)
+
+
+class FastSlotEngine(_FastEngineBase):
+    """Vectorized duty-cycle engine (parity twin of ``SlotEngine``)."""
+
+    def __init__(self, topology: WSNTopology, schedule: WakeupSchedule) -> None:
+        super().__init__(topology)
+        if topology.node_ids != schedule.node_ids:
+            missing = set(topology.node_ids) - set(schedule.node_ids)
+            if missing:
+                raise ValueError(
+                    f"wake-up schedule missing nodes {sorted(missing)[:5]}..."
+                    if len(missing) > 5
+                    else f"wake-up schedule missing nodes {sorted(missing)}"
+                )
+        self.schedule = schedule
+
+    def run(
+        self,
+        policy: SchedulingPolicy,
+        source: int,
+        *,
+        start_time: int = 1,
+        align_start: bool = False,
+        max_slots: int | None = None,
+    ) -> BroadcastResult:
+        """Simulate a duty-cycle broadcast; see :meth:`repro.sim.engine.SlotEngine.run`."""
+        require(source in self.topology, f"unknown source node {source}")
+        if align_start:
+            start_time = self.schedule.next_active_slot(source, start_time)
+        if max_slots is None:
+            depth = max(self._view.eccentricity(source), 1)
+            worst_per_layer = 2 * self.schedule.rate * (
+                max(self._view.max_degree(), 1) + 2
+            )
+            max_slots = depth * worst_per_layer + 4 * self.schedule.rate
+        limit = start_time + max_slots
+        return self._run(policy, source, start_time, limit, schedule=self.schedule)

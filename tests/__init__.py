@@ -1,0 +1,1 @@
+"""Test suite for the conf_icpp_JiangWGWKW12 reproduction."""

@@ -1,0 +1,434 @@
+"""Unit tests for the vectorized backend: bitset kernels, engines, validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.flooding import FloodingPolicy, LargestFirstPolicy
+from repro.core.advance import Advance, BroadcastState
+from repro.core.policies import SchedulingPolicy
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.bitset import BitsetTopology, bitset_view
+from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.network.interference import (
+    collision_victims,
+    conflicting_pairs,
+    has_conflict,
+    receivers_of,
+)
+from repro.network.topology import WSNTopology
+from repro.sim.broadcast import run_broadcast
+from repro.sim.engine import RoundEngine, SimulationTimeout, SlotEngine
+from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
+from repro.sim.replay import ReplayPolicy
+from repro.sim.validation import validate_broadcast
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def random_deployment():
+    config = DeploymentConfig(
+        num_nodes=60, area_side=20.0, radius=5.0, source_min_ecc=2, source_max_ecc=None
+    )
+    return deploy_uniform(config=config, seed=11)
+
+
+def _random_subsets(topology, seed, count=40):
+    rng = make_rng(seed)
+    ids = list(topology.node_ids)
+    for _ in range(count):
+        size = int(rng.integers(1, max(len(ids) // 2, 2)))
+        transmitters = frozenset(
+            int(u) for u in rng.choice(ids, size=size, replace=False)
+        )
+        covered_size = int(rng.integers(1, len(ids)))
+        covered = frozenset(
+            int(u) for u in rng.choice(ids, size=covered_size, replace=False)
+        )
+        yield transmitters, covered | transmitters
+
+
+class TestBitsetKernels:
+    def test_adjacency_matches_topology(self, random_deployment):
+        topology, _ = random_deployment
+        view = bitset_view(topology)
+        for i, u in enumerate(topology.node_ids):
+            neighbours = {topology.node_ids[j] for j in np.flatnonzero(view.adjacency[i])}
+            assert neighbours == set(topology.neighbors(u))
+        assert view.max_degree() == topology.max_degree()
+
+    def test_view_is_cached_per_topology(self, random_deployment):
+        topology, _ = random_deployment
+        assert bitset_view(topology) is bitset_view(topology)
+        assert isinstance(bitset_view(topology), BitsetTopology)
+
+    def test_receivers_and_conflicts_match_reference(self, random_deployment):
+        topology, _ = random_deployment
+        view = bitset_view(topology)
+        for transmitters, covered in _random_subsets(topology, seed=5):
+            covered_bool = view.bool_from_nodes(covered)
+            tx_idx = view.indices(transmitters)
+
+            expected_receivers = receivers_of(topology, transmitters, covered)
+            assert view.nodes_from_bool(
+                view.receivers_bool(tx_idx, covered_bool)
+            ) == expected_receivers
+
+            expected_pairs = conflicting_pairs(topology, transmitters, covered)
+            assert view.conflicting_pairs(tx_idx, covered_bool) == expected_pairs
+            assert view.has_conflict(tx_idx, covered_bool) == bool(expected_pairs)
+            assert view.has_conflict(tx_idx, covered_bool) == any(
+                has_conflict(topology, u, v, covered)
+                for u in transmitters
+                for v in transmitters
+            )
+
+            conflict, receivers_bool = view.check_and_receivers(tx_idx, covered_bool)
+            assert conflict == bool(expected_pairs)
+            assert view.nodes_from_bool(receivers_bool) == expected_receivers
+
+            expected_victims = collision_victims(topology, transmitters, covered)
+            assert view.nodes_from_bool(
+                view.collision_victims_bool(tx_idx, covered_bool)
+            ) == expected_victims
+
+    def test_bfs_matches_reference(self, random_deployment):
+        topology, source = random_deployment
+        view = bitset_view(topology)
+        reference = topology.hop_distances(source)
+        distances = view.hop_distances_bool(source)
+        for i, u in enumerate(topology.node_ids):
+            assert distances[i] == reference[u]
+        assert view.eccentricity(source) == topology.eccentricity(source)
+
+    def test_eccentricity_raises_on_disconnected(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (9.0, 9.0)}
+        topology = WSNTopology.from_edges([(0, 1)], positions)
+        view = bitset_view(topology)
+        with pytest.raises(ValueError, match="disconnected"):
+            view.eccentricity(0)
+        with pytest.raises(ValueError, match="disconnected"):
+            topology.eccentricity(0)
+
+    def test_indices_rejects_unknown_nodes(self, random_deployment):
+        topology, _ = random_deployment
+        view = bitset_view(topology)
+        with pytest.raises(KeyError):
+            view.indices(frozenset(range(10_000, 10_040)))
+        with pytest.raises(KeyError):
+            view.indices([10_000])
+
+    def test_caches_release_collected_keys(self):
+        """The weak caches must not pin their keys (no view/window leak)."""
+        import gc
+        import weakref
+
+        from repro.sim.fast_engine import _window_for
+
+        topology = _line_topology(6)
+        schedule = WakeupSchedule(topology.node_ids, rate=3, seed=0)
+        view = bitset_view(topology)
+        _window_for(schedule, view)
+        topology_ref = weakref.ref(topology)
+        schedule_ref = weakref.ref(schedule)
+        assert view.topology is topology
+        del topology, view, schedule
+        gc.collect()
+        assert topology_ref() is None, "BitsetTopology cache leaked its topology"
+        assert schedule_ref() is None, "activity-window cache leaked its schedule"
+
+
+class TestActivityWindow:
+    def test_activity_window_matches_is_active(self):
+        schedule = WakeupSchedule(range(8), rate=4, seed=3)
+        node_ids = list(range(8))
+        window = schedule.activity_window(node_ids, 5, 40)
+        for row, node in enumerate(node_ids):
+            for slot in range(5, 41):
+                assert window[row, slot - 5] == schedule.is_active(node, slot)
+
+    def test_activity_window_empty_and_validation(self):
+        schedule = WakeupSchedule(range(3), rate=2, seed=0)
+        assert schedule.activity_window([0, 1], 5, 4).shape == (2, 0)
+        with pytest.raises(ValueError):
+            schedule.activity_window([0], 0, 10)
+
+
+class _BadAdvancePolicy(SchedulingPolicy):
+    """Emits a deliberately invalid advance to exercise engine checks."""
+
+    name = "bad"
+
+    def __init__(self, mutate):
+        self._mutate = mutate
+
+    def select_advance(self, state: BroadcastState) -> Advance | None:
+        if state.is_complete:
+            return None
+        good = LargestFirstPolicy().select_advance(state)
+        if good is None:
+            return None
+        return self._mutate(state, good)
+
+
+def _line_topology(n=7):
+    positions = {i: (float(i), 0.0) for i in range(n)}
+    return WSNTopology.from_edges([(i, i + 1) for i in range(n - 1)], positions)
+
+
+class TestFastEngineChecks:
+    @pytest.mark.parametrize("engine_cls", [RoundEngine, FastRoundEngine])
+    def test_rejects_uncovered_transmitters(self, engine_cls):
+        topology = _line_topology()
+
+        def mutate(state, advance):
+            outsider = max(state.uncovered)
+            return Advance(
+                time=advance.time,
+                color=advance.color | {outsider},
+                receivers=advance.receivers,
+            )
+
+        with pytest.raises(ValueError, match="do not hold the message"):
+            engine_cls(topology).run(_BadAdvancePolicy(mutate), 0)
+
+    @pytest.mark.parametrize("engine_cls", [RoundEngine, FastRoundEngine])
+    def test_rejects_wrong_receivers(self, engine_cls):
+        topology = _line_topology()
+
+        def mutate(state, advance):
+            return Advance(
+                time=advance.time, color=advance.color, receivers=frozenset()
+            )
+
+        with pytest.raises(ValueError, match="advance.receivers does not match"):
+            engine_cls(topology).run(_BadAdvancePolicy(mutate), 0)
+
+    @pytest.mark.parametrize("engine_cls", [RoundEngine, FastRoundEngine])
+    def test_rejects_unknown_receivers_with_same_error(self, engine_cls):
+        # Receivers naming a node outside the topology must raise the same
+        # ValueError on both backends, not a bare KeyError.
+        topology = _line_topology()
+
+        def mutate(state, advance):
+            return Advance(
+                time=advance.time,
+                color=advance.color,
+                receivers=advance.receivers | {987_654},
+            )
+
+        with pytest.raises(ValueError, match="advance.receivers does not match"):
+            engine_cls(topology).run(_BadAdvancePolicy(mutate), 0)
+
+    @pytest.mark.parametrize("engine_cls", [RoundEngine, FastRoundEngine])
+    def test_rejects_conflicting_transmitters(self, engine_cls):
+        # Diamond 0-{1,2}-3: after the source covers 1 and 2, those two share
+        # the uncovered neighbour 3, so transmitting together must be rejected.
+        positions = {0: (0.0, 0.0), 1: (1.0, 1.0), 2: (1.0, -1.0), 3: (2.0, 0.0)}
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        topology = WSNTopology.from_edges(edges, positions)
+
+        class Conflicting(SchedulingPolicy):
+            name = "conflicting"
+
+            def select_advance(self, state):
+                if state.time == 1:
+                    return Advance.from_color(
+                        state.topology, state.covered, frozenset({0}), 1
+                    )
+                if state.time == 2:
+                    covered = state.covered
+                    return Advance(
+                        time=2,
+                        color=frozenset({1, 2}),
+                        receivers=receivers_of(state.topology, {1, 2}, covered),
+                    )
+                return None
+
+        with pytest.raises(ValueError, match="conflicting transmitters"):
+            engine_cls(topology).run(Conflicting(), 0)
+
+    @pytest.mark.parametrize("engine_cls", [SlotEngine, FastSlotEngine])
+    def test_rejects_sleeping_transmitters(self, engine_cls):
+        topology = _line_topology(4)
+        schedule = WakeupSchedule.from_explicit(
+            {0: [3], 1: [5], 2: [7], 3: [9]}, rate=2
+        )
+
+        class SleepTalker(SchedulingPolicy):
+            name = "sleep-talker"
+            frontier_driven = False
+
+            def select_advance(self, state):
+                if state.time == 1:
+                    return Advance.from_color(
+                        state.topology, state.covered, frozenset({0}), 1
+                    )
+                return None
+
+        with pytest.raises(ValueError, match="sleeping transmitters"):
+            engine_cls(topology, schedule).run(SleepTalker(), 0)
+
+    @pytest.mark.parametrize("engine_cls", [SlotEngine, FastSlotEngine])
+    def test_timeout_messages_match(self, engine_cls):
+        topology = _line_topology(4)
+        schedule = WakeupSchedule(topology.node_ids, rate=3, seed=1)
+
+        class Mute(SchedulingPolicy):
+            name = "mute"
+
+            def select_advance(self, state):
+                return None
+
+        with pytest.raises(SimulationTimeout, match="did not complete by time"):
+            engine_cls(topology, schedule).run(Mute(), 0, max_slots=9)
+
+    def test_missing_schedule_nodes_rejected(self):
+        topology = _line_topology(5)
+        schedule = WakeupSchedule([0, 1, 2], rate=2, seed=0)
+        with pytest.raises(ValueError, match="missing nodes"):
+            FastSlotEngine(topology, schedule)
+        with pytest.raises(ValueError, match="missing nodes"):
+            SlotEngine(topology, schedule)
+
+
+class TestEngineParityFixtures:
+    def test_round_parity_on_fixture_graphs(self, figure1, small_grid):
+        for topology, source in [figure1, (small_grid, small_grid.node_ids[0])]:
+            a = run_broadcast(topology, source, LargestFirstPolicy(), engine="reference")
+            b = run_broadcast(topology, source, LargestFirstPolicy(), engine="vectorized")
+            assert a == b
+
+    def test_duty_parity_on_figure2(self, figure2_duty):
+        topology, source, schedule = figure2_duty
+        a = run_broadcast(
+            topology, source, LargestFirstPolicy(), schedule=schedule,
+            align_start=True, engine="reference",
+        )
+        b = run_broadcast(
+            topology, source, LargestFirstPolicy(), schedule=schedule,
+            align_start=True, engine="vectorized",
+        )
+        assert a == b
+
+    def test_flooding_parity_without_conflict_checks(self, small_grid):
+        source = small_grid.node_ids[0]
+        a = run_broadcast(
+            small_grid, source, FloodingPolicy(), validate=False, engine="reference"
+        )
+        b = run_broadcast(
+            small_grid, source, FloodingPolicy(), validate=False, engine="vectorized"
+        )
+        assert a == b
+
+    def test_replay_hint_fast_forwards(self, random_deployment):
+        topology, source = random_deployment
+        schedule = WakeupSchedule(topology.node_ids, rate=6, seed=9)
+        trace = run_broadcast(
+            topology, source, LargestFirstPolicy(), schedule=schedule, align_start=True
+        )
+        calls = 0
+
+        class CountingReplay(ReplayPolicy):
+            def select_advance(self, state):
+                nonlocal calls
+                calls += 1
+                return super().select_advance(state)
+
+        replayed = run_broadcast(
+            topology,
+            source,
+            CountingReplay(trace),
+            schedule=schedule,
+            start_time=trace.start_time,
+            engine="vectorized",
+        )
+        assert replayed == trace
+        # The hint lets the vectorized engine consult the policy only at the
+        # recorded decision slots.
+        assert calls == trace.num_advances
+
+
+class TestVectorizedValidator:
+    def test_validators_agree_on_valid_traces(self, random_deployment):
+        topology, source = random_deployment
+        schedule = WakeupSchedule(topology.node_ids, rate=5, seed=2)
+        trace = run_broadcast(
+            topology, source, LargestFirstPolicy(), schedule=schedule, align_start=True
+        )
+        assert validate_broadcast(topology, trace, schedule=schedule) == []
+        assert (
+            validate_broadcast(topology, trace, schedule=schedule, backend="vectorized")
+            == []
+        )
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            "drop_first_advance",
+            "duplicate_delivery",
+            "sleeping_transmitter",
+            "wrong_covered",
+            "wrong_end_time",
+        ],
+    )
+    def test_validators_agree_on_corrupted_traces(self, random_deployment, corrupt):
+        import dataclasses
+
+        topology, source = random_deployment
+        schedule = WakeupSchedule(topology.node_ids, rate=5, seed=2)
+        trace = run_broadcast(
+            topology, source, LargestFirstPolicy(), schedule=schedule, align_start=True
+        )
+        advances = list(trace.advances)
+        if corrupt == "drop_first_advance":
+            bad = dataclasses.replace(trace, advances=tuple(advances[1:]))
+        elif corrupt == "duplicate_delivery":
+            first = advances[0]
+            advances[1] = dataclasses.replace(
+                advances[1], receivers=advances[1].receivers | first.receivers
+            )
+            bad = dataclasses.replace(trace, advances=tuple(advances))
+        elif corrupt == "sleeping_transmitter":
+            target = advances[1]
+            asleep_slot = target.time + 1
+            while any(
+                schedule.is_active(u, asleep_slot) for u in target.color
+            ) or any(a.time == asleep_slot for a in advances):
+                asleep_slot += 1
+            advances[1] = dataclasses.replace(target, time=asleep_slot)
+            advances.sort(key=lambda a: a.time)
+            bad = dataclasses.replace(
+                trace, advances=tuple(advances), end_time=max(a.time for a in advances)
+            )
+        elif corrupt == "wrong_covered":
+            bad = dataclasses.replace(
+                trace, covered=trace.covered - {max(trace.covered)}
+            )
+        else:
+            bad = dataclasses.replace(trace, end_time=trace.end_time + 3)
+
+        reference = validate_broadcast(topology, bad, schedule=schedule)
+        vectorized = validate_broadcast(
+            topology, bad, schedule=schedule, backend="vectorized"
+        )
+        assert reference, f"corruption {corrupt!r} was not detected"
+        assert vectorized == reference
+
+    def test_unknown_backend_rejected(self, random_deployment):
+        topology, source = random_deployment
+        trace = run_broadcast(topology, source, LargestFirstPolicy())
+        with pytest.raises(ValueError, match="unknown validation backend"):
+            validate_broadcast(topology, trace, backend="quantum")
+
+    def test_unknown_covered_ids_fall_back_to_reference(self, random_deployment):
+        import dataclasses
+
+        topology, source = random_deployment
+        trace = run_broadcast(topology, source, LargestFirstPolicy())
+        bad = dataclasses.replace(trace, covered=trace.covered | {987_654})
+        reference = validate_broadcast(topology, bad)
+        vectorized = validate_broadcast(topology, bad, backend="vectorized")
+        assert reference
+        assert vectorized == reference
