@@ -282,7 +282,8 @@ class TimeCounter:
 
     def _duty_horizon(self, time: int) -> int:
         assert self.schedule is not None
-        rate = self.schedule.rate
+        # The horizon must cover the sleepiest node's cycle, not the base rate.
+        rate = self.schedule.max_rate
         # d+2 measured from scratch is a safe over-estimate of the remaining
         # depth for any intermediate W.
         try:

@@ -13,6 +13,24 @@ here (:meth:`WakeupSchedule.next_active_slot`).
 The implementation materialises wake-up slots lazily, cycle by cycle, so a
 schedule can be queried arbitrarily far into the future without
 pre-committing to a horizon.
+
+Heterogeneous rates
+-------------------
+The paper assigns one global cycle rate ``r`` to every node.  Real
+deployments are rarely that homogeneous: mains-powered backbone nodes duty
+cycle aggressively while battery nodes sleep most of the time.
+:class:`WakeupSchedule` therefore accepts an optional per-node ``rates``
+mapping that overrides the base rate node by node; every query API
+(:meth:`~WakeupSchedule.is_active`, :meth:`~WakeupSchedule.next_active_slot`,
+:meth:`~WakeupSchedule.activity_window`, ...) is rate-agnostic.  Named rate
+*assignment models* (two-tier, zipf, ...) live in
+:mod:`repro.dutycycle.models`.  Worst-case bounds (simulation caps, search
+horizons) must use :attr:`WakeupSchedule.max_rate` — the slowest node's
+rate — rather than :attr:`WakeupSchedule.rate`, which stays the base rate.
+
+Determinism contract: a node's wake-up stream depends only on
+``(seed, node_id, its rate)``, never on the other nodes' rates, so any two
+schedules built from the same seed agree on every node they share.
 """
 
 from __future__ import annotations
@@ -124,7 +142,7 @@ class WakeupSchedule:
     node_ids:
         The nodes to generate schedules for.
     rate:
-        The cycle rate ``r`` (paper notation): on average one sending
+        The base cycle rate ``r`` (paper notation): on average one sending
         opportunity every ``r`` slots.  ``rate=1`` degenerates to the
         synchronous system (every node can send every slot).
     seed:
@@ -133,6 +151,11 @@ class WakeupSchedule:
         Optional mapping ``node_id -> sequence of active slots`` overriding
         the pseudo-random generation for those nodes (used to reproduce the
         paper's Figure 2(e)/Table IV example).
+    rates:
+        Optional mapping ``node_id -> cycle rate`` overriding the base rate
+        for those nodes (heterogeneous duty cycling; see
+        :mod:`repro.dutycycle.models` for named assignment models).  Nodes
+        absent from the mapping keep the base ``rate``.
     """
 
     def __init__(
@@ -142,6 +165,7 @@ class WakeupSchedule:
         *,
         seed: int | None = 0,
         explicit: Mapping[int, Sequence[int]] | None = None,
+        rates: Mapping[int, int] | None = None,
     ) -> None:
         require(rate >= 1, f"cycle rate must be >= 1, got {rate}")
         self._rate = int(rate)
@@ -151,20 +175,52 @@ class WakeupSchedule:
         unknown = set(explicit) - set(self._node_ids)
         if unknown:
             raise ValueError(f"explicit schedules for unknown nodes: {sorted(unknown)}")
+        overrides = {int(u): int(r) for u, r in (rates or {}).items()}
+        unknown_rates = set(overrides) - set(self._node_ids)
+        if unknown_rates:
+            raise ValueError(f"rates for unknown nodes: {sorted(unknown_rates)}")
+        for node_id, node_rate in overrides.items():
+            require(
+                node_rate >= 1,
+                f"cycle rate must be >= 1, got {node_rate} for node {node_id}",
+            )
+        self._rates: dict[int, int] = {
+            u: overrides.get(u, self._rate) for u in self._node_ids
+        }
         self._sequences: dict[int, _NodeSequence | _ExplicitSequence] = {}
         for node_id in self._node_ids:
+            node_rate = self._rates[node_id]
             if node_id in explicit:
-                self._sequences[node_id] = _ExplicitSequence(self._rate, explicit[node_id])
+                self._sequences[node_id] = _ExplicitSequence(node_rate, explicit[node_id])
             else:
                 self._sequences[node_id] = _NodeSequence(
-                    self._rate, derive_seed(base_seed, "wakeup", node_id)
+                    node_rate, derive_seed(base_seed, "wakeup", node_id)
                 )
 
     # ------------------------------------------------------------------
     @property
     def rate(self) -> int:
-        """The cycle rate ``r``."""
+        """The base cycle rate ``r`` (nodes without an override use it)."""
         return self._rate
+
+    @property
+    def max_rate(self) -> int:
+        """The slowest node's cycle rate — use this for worst-case bounds."""
+        return max(self._rates.values(), default=self._rate)
+
+    @property
+    def rates(self) -> dict[int, int]:
+        """Per-node cycle rates (a copy; every node is present)."""
+        return dict(self._rates)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True iff at least two nodes have different cycle rates."""
+        return len(set(self._rates.values())) > 1
+
+    def rate_of(self, node_id: int) -> int:
+        """The cycle rate of one node."""
+        return self._rates[node_id]
 
     @property
     def node_ids(self) -> tuple[int, ...]:

@@ -8,17 +8,20 @@ from repro.experiments.config import (
     sweep_from_env,
 )
 from repro.experiments.figures import (
+    DEFAULT_SCENARIO_SET,
     figure3,
     figure4,
     figure5,
     figure6,
     figure7,
+    figure_scenarios,
 )
 from repro.experiments.runner import RunRecord, SweepResult, run_sweep
 from repro.experiments.tables import table2, table3, table4
 from repro.experiments.report import summary_claims
 
 __all__ = [
+    "DEFAULT_SCENARIO_SET",
     "ExperimentScale",
     "PAPER_SWEEP",
     "QUICK_SWEEP",
@@ -30,6 +33,7 @@ __all__ = [
     "figure5",
     "figure6",
     "figure7",
+    "figure_scenarios",
     "run_sweep",
     "summary_claims",
     "sweep_from_env",

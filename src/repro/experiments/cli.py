@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any figure or table of the paper.
+"""Command-line interface: figures, tables, and scenario sweeps.
 
 Examples
 --------
@@ -9,6 +9,22 @@ Regenerate Figure 3 at the quick scale and print it as a text table::
 Regenerate every figure at the paper's full scale and write CSVs::
 
     mlbs-experiments all --scale paper --csv-dir results/
+
+Run a duty-cycle sweep on a non-uniform deployment scenario (the default
+target is ``sweep``; records print as CSV and are bit-identical for any
+``--workers`` value)::
+
+    mlbs-experiments --scenario clustered --engine vectorized --workers 2
+    mlbs-experiments --scenario ring --duty-model two-tier --rate 50
+
+Compare every policy across all registered scenarios::
+
+    mlbs-experiments scenarios
+
+Discover the registered workloads::
+
+    mlbs-experiments --list-scenarios
+    mlbs-experiments --list-duty-models
 
 The same entry point is reachable with ``python -m repro.experiments``.
 """
@@ -21,10 +37,14 @@ import os
 import sys
 from pathlib import Path
 
+from repro.dutycycle.models import duty_model_names, list_duty_models
 from repro.experiments import figures as figures_mod
 from repro.experiments import tables as tables_mod
 from repro.experiments.config import PAPER_SWEEP, QUICK_SWEEP, SweepConfig
 from repro.experiments.report import claims_to_text, summary_claims
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.scenarios import list_scenarios, scenario_names
+from repro.utils.format import to_csv
 
 __all__ = ["main", "build_parser"]
 
@@ -42,19 +62,40 @@ _TABLES = {
 }
 
 
+def _parse_node_counts(text: str) -> tuple[int, ...]:
+    """Parse ``--nodes "50,100"`` with a clean usage error on bad input."""
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not counts:
+        raise argparse.ArgumentTypeError("at least one node count is required")
+    return counts
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="mlbs-experiments",
         description=(
             "Regenerate the tables and figures of 'Minimum Latency Broadcasting "
-            "with Conflict Awareness in WSNs' (ICPP 2012)."
+            "with Conflict Awareness in WSNs' (ICPP 2012), or sweep any "
+            "registered deployment scenario / duty-cycle model."
         ),
     )
     parser.add_argument(
         "target",
-        choices=[*_FIGURES, *_TABLES, "claims", "all"],
-        help="which figure/table to regenerate",
+        nargs="?",
+        default="sweep",
+        choices=[*_FIGURES, *_TABLES, "claims", "scenarios", "sweep", "all"],
+        help=(
+            "which figure/table to regenerate; 'sweep' (the default) runs one "
+            "sweep and prints its records as CSV; 'scenarios' compares the "
+            "policies across deployment scenarios; 'all' covers the paper's "
+            "figures, tables and claims"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -67,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the number of deployments per node count",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=_parse_node_counts,
+        default=None,
+        metavar="N1,N2,...",
+        help="override the node counts of the scale (comma-separated)",
     )
     parser.add_argument(
         "--csv-dir",
@@ -87,6 +135,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="simulation backend (default: reference; both are bit-identical)",
     )
+    parser.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default=None,
+        help="deployment scenario (default: uniform; see --list-scenarios)",
+    )
+    parser.add_argument(
+        "--duty-model",
+        choices=duty_model_names(),
+        default=None,
+        help="per-node duty-cycle model (default: uniform; see --list-duty-models)",
+    )
+    parser.add_argument(
+        "--system",
+        choices=["sync", "duty"],
+        default="duty",
+        help="system model for the 'sweep' and 'scenarios' targets (default: duty)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=int,
+        default=10,
+        help="cycle rate r for the 'sweep' and 'scenarios' targets (default: 10)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered deployment scenarios and exit",
+    )
+    parser.add_argument(
+        "--list-duty-models",
+        action="store_true",
+        help="print the registered duty-cycle models and exit",
+    )
     return parser
 
 
@@ -100,11 +182,28 @@ def _config_from_args(args: argparse.Namespace) -> SweepConfig:
         config = PAPER_SWEEP if scale == "paper" else QUICK_SWEEP
     if args.repetitions is not None:
         config = config.with_repetitions(args.repetitions)
+    if args.nodes is not None:
+        config = dataclasses.replace(config, node_counts=args.nodes)
     if args.workers is not None:
         config = dataclasses.replace(config, workers=args.workers)
     if args.engine is not None:
         config = dataclasses.replace(config, engine=args.engine)
+    if args.scenario is not None:
+        config = dataclasses.replace(config, scenario=args.scenario)
+    if args.duty_model is not None:
+        config = dataclasses.replace(config, duty_model=args.duty_model)
     return config
+
+
+def _format_catalog(title: str, entries: list[tuple[str, str, dict]]) -> str:
+    lines = [title]
+    width = max((len(name) for name, _, _ in entries), default=0)
+    for name, summary, defaults in entries:
+        lines.append(f"  {name:<{width}}  {summary}")
+        if defaults:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(defaults.items()))
+            lines.append(f"  {'':<{width}}  defaults: {rendered}")
+    return "\n".join(lines)
 
 
 def _emit(name: str, text: str, csv: str | None, csv_dir: Path | None) -> None:
@@ -119,7 +218,40 @@ def _emit(name: str, text: str, csv: str | None, csv_dir: Path | None) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    # The paper-reproduction targets keep the paper's labels and claim
+    # thresholds, which are only meaningful on the paper's workload; the
+    # scenario axes belong to the 'sweep' and 'scenarios' targets.
+    non_paper = [
+        flag
+        for flag, value in (("--scenario", args.scenario), ("--duty-model", args.duty_model))
+        if value not in (None, "uniform")
+    ]
+    if non_paper and args.target not in ("sweep", "scenarios"):
+        parser.error(
+            f"{'/'.join(non_paper)} only applies to the 'sweep' and 'scenarios' "
+            f"targets; {args.target!r} reproduces the paper's uniform workload"
+        )
+
+    if args.list_scenarios or args.list_duty_models:
+        if args.list_scenarios:
+            print(
+                _format_catalog(
+                    "Registered deployment scenarios (--scenario):",
+                    [(s.name, s.summary, dict(s.defaults)) for s in list_scenarios()],
+                )
+            )
+        if args.list_duty_models:
+            print(
+                _format_catalog(
+                    "Registered duty-cycle models (--duty-model):",
+                    [(m.name, m.summary, dict(m.defaults)) for m in list_duty_models()],
+                )
+            )
+        return 0
+
     config = _config_from_args(args)
 
     targets = (
@@ -137,6 +269,20 @@ def main(argv: list[str] | None = None) -> int:
         elif target in _TABLES:
             table = _TABLES[target]()
             _emit(target, table.to_text(), None, args.csv_dir)
+        elif target == "scenarios":
+            result = figures_mod.figure_scenarios(
+                config, system=args.system, rate=args.rate
+            )
+            _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+        elif target == "sweep":
+            sweep = run_sweep(config, system=args.system, rate=args.rate)
+            csv = to_csv(SweepResult.ROW_HEADERS, sweep.to_rows())
+            header = (
+                f"sweep: scenario={config.scenario} duty_model={config.duty_model} "
+                f"system={sweep.system} rate={sweep.rate} engine={config.engine} "
+                f"records={len(sweep.records)}"
+            )
+            _emit(target, f"{header}\n{csv.rstrip()}", csv, args.csv_dir)
         elif target == "claims":
             fig3 = fig_cache.get("figure3") or figures_mod.figure3(config)
             fig4 = fig_cache.get("figure4") or figures_mod.figure4(config)

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 
 from repro.core.time_counter import SearchConfig
+from repro.dutycycle.models import duty_model_names
+from repro.scenarios import scenario_names
 from repro.utils.validation import require
 
 __all__ = [
@@ -75,6 +77,14 @@ class SweepConfig:
     workers:
         Worker processes for the sweep runner; 1 runs in-process, 0 means
         "one per CPU".
+    scenario:
+        Named deployment generator from the :mod:`repro.scenarios` registry
+        (``"uniform"`` is the paper's workload; ``--list-scenarios`` on the
+        CLI prints the catalog).
+    duty_model:
+        Named per-node rate assignment from :mod:`repro.dutycycle.models`
+        (``"uniform"`` is the paper's single global rate).  Only affects
+        ``system="duty"`` sweeps.
     """
 
     node_counts: tuple[int, ...] = (50, 100, 150, 200, 250, 300)
@@ -91,6 +101,8 @@ class SweepConfig:
     duty_rates: tuple[int, ...] = (10, 50)
     engine: str = "reference"
     workers: int = 1
+    scenario: str = "uniform"
+    duty_model: str = "uniform"
 
     def __post_init__(self) -> None:
         require(len(self.node_counts) > 0, "node_counts must not be empty")
@@ -101,6 +113,14 @@ class SweepConfig:
             f"unknown engine {self.engine!r}; expected 'reference' or 'vectorized'",
         )
         require(self.workers >= 0, "workers must be >= 0 (0 = one per CPU)")
+        require(
+            self.scenario in scenario_names(),
+            f"unknown scenario {self.scenario!r}; registered: {scenario_names()}",
+        )
+        require(
+            self.duty_model in duty_model_names(),
+            f"unknown duty model {self.duty_model!r}; registered: {duty_model_names()}",
+        )
 
     @property
     def densities(self) -> tuple[float, ...]:

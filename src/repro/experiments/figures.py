@@ -1,4 +1,4 @@
-"""Generators for the paper's Figures 3-7.
+"""Generators for the paper's Figures 3-7 plus cross-scenario comparisons.
 
 Each generator returns a :class:`FigureResult` holding exactly the series the
 paper plots: density (nodes per sq-ft) on the x-axis and the end-to-end
@@ -6,10 +6,15 @@ latency ``P(A)`` (rounds for Figure 3, slots for Figures 4-7) on the y-axis,
 one series per scheduler or analytical bound.  The benchmark modules under
 ``benchmarks/`` call these generators and assert the qualitative shape; the
 CLI (``python -m repro.experiments``) prints them as text tables / CSV.
+
+Beyond the paper, :func:`figure_scenarios` compares the policies *across
+deployment scenarios* (see :mod:`repro.scenarios`): one x position per
+scenario, mean latency over the whole sweep per policy.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.bounds import (
@@ -20,26 +25,33 @@ from repro.core.bounds import (
 from repro.dutycycle.cwt import max_cwt
 from repro.experiments.config import SweepConfig, sweep_from_env
 from repro.experiments.runner import SweepResult, run_sweep
+from repro.sim.metrics import aggregate_latency
 from repro.utils.format import format_series_table, to_csv
 
 __all__ = [
     "FigureResult",
+    "DEFAULT_SCENARIO_SET",
     "figure3",
     "figure4",
     "figure5",
     "figure6",
     "figure7",
+    "figure_scenarios",
 ]
 
 
 @dataclass
 class FigureResult:
-    """One reproduced figure: x values plus one y series per curve."""
+    """One reproduced figure: x values plus one y series per curve.
+
+    ``x_values`` are densities for the paper's figures and scenario names
+    for :func:`figure_scenarios` (the text/CSV renderers accept both).
+    """
 
     name: str
     title: str
     x_label: str
-    x_values: tuple[float, ...]
+    x_values: tuple[float | str, ...]
     series: dict[str, list[float]] = field(default_factory=dict)
     y_label: str = "P(A)"
     sweep: SweepResult | None = None
@@ -195,4 +207,60 @@ def figure7(
         name="Figure 7",
         title="Analytical upper bounds in the light duty-cycle system (r = 50)",
         sweep=sweep,
+    )
+
+
+#: Scenarios compared by :func:`figure_scenarios` (every built-in scenario).
+DEFAULT_SCENARIO_SET: tuple[str, ...] = (
+    "uniform",
+    "clustered",
+    "corridor",
+    "ring",
+    "perturbed-grid",
+    "grid-holes",
+    "knn",
+)
+
+
+def figure_scenarios(
+    config: SweepConfig | None = None,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    system: str = "duty",
+    rate: int = 10,
+) -> FigureResult:
+    """Cross-scenario comparison: mean policy latency per deployment scenario.
+
+    Beyond the paper: one full sweep per scenario (same node counts,
+    repetitions, engine and duty model as ``config``), aggregated to the
+    mean latency over *all* records of each policy.  The x-axis enumerates
+    the scenarios, one series per policy — the figure answers "how robust
+    is each policy's advantage when the topology stops being uniform?".
+    """
+    config = config or sweep_from_env()
+    chosen = DEFAULT_SCENARIO_SET if scenarios is None else scenarios
+    series: dict[str, list[float]] = {}
+    sweeps: list[SweepResult] = []
+    for scenario in chosen:
+        sweep = run_sweep(
+            dataclasses.replace(config, scenario=scenario), system=system, rate=rate
+        )
+        sweeps.append(sweep)
+        for policy in sweep.policies:
+            values = [r.latency for r in sweep.records_for(policy)]
+            series.setdefault(policy, []).append(aggregate_latency(values)["mean"])
+    unit = "slots" if system == "duty" else "rounds"
+    title = (
+        f"Mean end-to-end delay per deployment scenario "
+        f"({'duty cycle r = ' + str(rate) if system == 'duty' else 'round-based'}, "
+        f"duty model {config.duty_model!r})"
+    )
+    return FigureResult(
+        name="Scenario comparison",
+        title=title,
+        x_label="scenario",
+        x_values=tuple(chosen),
+        series=series,
+        y_label=f"P(A) [{unit}]",
+        sweep=sweeps[-1] if sweeps else None,
     )

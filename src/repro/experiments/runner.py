@@ -1,20 +1,37 @@
 """Sweep runner: deploy, broadcast under every scheduler, collect records.
 
 One *sweep* fixes the system model (round-based or duty-cycle with a given
-cycle rate) and runs every scheduler on the same sequence of deployments so
-the comparison is paired, exactly like the paper's simulator: for each node
+cycle rate), the deployment scenario and the duty-cycle assignment model,
+and runs every scheduler on the same sequence of deployments so the
+comparison is paired, exactly like the paper's simulator: for each node
 count and repetition a deployment is generated, the source is selected, and
 each policy broadcasts from the same source over the same topology (and, in
 the duty-cycle system, the same wake-up schedule).
 
+Determinism contract
+--------------------
 The grid is embarrassingly parallel across ``(node count, repetition)``
-cells: every cell derives its own seed with :func:`repro.utils.rng.derive_seed`
-from the experiment seed and its coordinates, so the records are
-bit-identical no matter how the cells are chunked or which worker executes
-them.  ``run_sweep(..., workers=N)`` fans the cells out over a process pool
-(``workers=0`` means one per CPU) and re-assembles the records in the
-deterministic serial order; ``engine="vectorized"`` switches every broadcast
-(and its validation) to the numpy bitset backend.
+cells, and the records are **bit-identical for every worker count**.  The
+contract has three legs:
+
+1. *Per-cell seed derivation.*  Every cell derives its own seed with
+   :func:`repro.utils.rng.derive_seed` from the experiment seed and the
+   cell coordinates ``(system, rate, num_nodes, repetition)`` — never from
+   shared mutable RNG state — so a cell's randomness is independent of
+   which process runs it, in which order.
+2. *Pure generators.*  Deployment scenarios (:mod:`repro.scenarios`) and
+   duty-model rate assignments (:mod:`repro.dutycycle.models`) are pure
+   functions of ``(name, config, seed)``; the cell seed is further split
+   (``"wakeup-schedule"``, ``"duty-model"``) so the axes stay independent.
+3. *Deterministic reassembly.*  ``run_sweep`` re-assembles worker results
+   in the serial cell order (``pool.imap``, not ``imap_unordered``).
+
+``run_sweep(..., workers=N)`` fans the cells out over a process pool
+(``workers=0`` means one per CPU); ``engine="vectorized"`` switches every
+broadcast (and its validation) to the numpy bitset backend, which is
+trace-identical to the reference engine.  Any combination of
+``(scenario, duty_model, engine, workers)`` therefore changes *what* is
+simulated or *how fast*, never the records' reproducibility.
 """
 
 from __future__ import annotations
@@ -29,9 +46,10 @@ from typing import Callable, Mapping, Sequence
 from repro.baselines.approx17 import Approx17Policy
 from repro.baselines.approx26 import Approx26Policy
 from repro.core.policies import EModelPolicy, GreedyOptPolicy, OptPolicy, SchedulingPolicy
-from repro.dutycycle.schedule import WakeupSchedule
+from repro.dutycycle.models import build_wakeup_schedule
 from repro.experiments.config import SweepConfig
 from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.scenarios import generate_scenario
 from repro.sim.broadcast import run_broadcast
 from repro.sim.metrics import aggregate_latency
 from repro.utils.rng import derive_seed
@@ -48,6 +66,8 @@ class RunRecord:
     policy: str
     system: str
     rate: int
+    scenario: str
+    duty_model: str
     num_nodes: int
     density: float
     repetition: int
@@ -118,6 +138,8 @@ class SweepResult:
                 r.policy,
                 r.system,
                 r.rate,
+                r.scenario,
+                r.duty_model,
                 r.num_nodes,
                 f"{r.density:.4f}",
                 r.repetition,
@@ -136,6 +158,8 @@ class SweepResult:
         "policy",
         "system",
         "rate",
+        "scenario",
+        "duty_model",
         "num_nodes",
         "density",
         "repetition",
@@ -219,13 +243,21 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
         source_min_ecc=config.source_min_ecc,
         source_max_ecc=config.source_max_ecc,
     )
-    topology, source = deploy_uniform(config=deployment_config, seed=seed)
+    if config.scenario == "uniform":
+        # The paper's generator, kept on its original code path so uniform
+        # sweeps stay bit-compatible with pre-scenario records.
+        topology, source = deploy_uniform(config=deployment_config, seed=seed)
+    else:
+        deployment = generate_scenario(config.scenario, deployment_config, seed=seed)
+        topology, source = deployment.topology, deployment.source
     schedule = None
     if cell.system == "duty":
-        schedule = WakeupSchedule(
+        schedule = build_wakeup_schedule(
             topology.node_ids,
             rate=cell.rate,
             seed=derive_seed(seed, "wakeup-schedule"),
+            model=config.duty_model,
+            model_seed=derive_seed(seed, "duty-model"),
         )
     eccentricity = topology.eccentricity(source)
 
@@ -245,6 +277,8 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
                 policy=name,
                 system=cell.system,
                 rate=cell.rate if cell.system == "duty" else 1,
+                scenario=config.scenario,
+                duty_model=config.duty_model if cell.system == "duty" else "uniform",
                 num_nodes=cell.num_nodes,
                 density=cell.num_nodes / area,
                 repetition=cell.repetition,
@@ -281,7 +315,8 @@ def run_sweep(
     Parameters
     ----------
     config:
-        Sweep parameterisation (node counts, repetitions, area, radius, ...).
+        Sweep parameterisation (node counts, repetitions, area, radius,
+        deployment ``scenario``, ``duty_model``, ...).
     system:
         ``"sync"`` for the round-based system, ``"duty"`` for the duty-cycle
         system (which also generates a wake-up schedule per deployment).

@@ -2,7 +2,12 @@
 
 from repro.network.bitset import BitsetTopology, bitset_view
 from repro.network.boundary import boundary_nodes, hull_nodes
-from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.network.deployment import (
+    Deployment,
+    DeploymentConfig,
+    deploy_uniform,
+    grid_deployment,
+)
 from repro.network.geometry import convex_hull, euclidean_distance
 from repro.network.graphs import (
     figure1_topology,
@@ -20,6 +25,7 @@ from repro.network.topology import Node, WSNTopology
 
 __all__ = [
     "BitsetTopology",
+    "Deployment",
     "DeploymentConfig",
     "Node",
     "QUADRANTS",
@@ -34,6 +40,7 @@ __all__ = [
     "figure1_topology",
     "figure2_duty_schedule",
     "figure2_topology",
+    "grid_deployment",
     "has_conflict",
     "hull_nodes",
     "quadrant_index",

@@ -1,4 +1,4 @@
-"""Random uniform deployments matching the paper's simulation setting.
+"""Deployment generation: the paper's uniform generator and its data model.
 
 Section V-A: "50~300 nodes, with a communication radius of 10 feet, are
 deployed uniformly to cover an interest area of 50 x 50 Sq. Ft., creating
@@ -10,6 +10,20 @@ node."
 uniformly at random in the square, rejects disconnected deployments, and
 picks a source node whose eccentricity falls in the requested hop range
 (retrying with fresh positions when no such source exists).
+
+This module also defines the two records shared by every workload:
+
+* :class:`DeploymentConfig` — the geometry knobs (node count, area side,
+  communication radius, source-eccentricity window, retry budget); and
+* :class:`Deployment` — a generated topology plus its selected source.
+
+The :mod:`repro.scenarios` registry builds non-uniform workloads (clustered
+hotspots, corridors, rings, grids with holes, k-nearest-neighbour graphs,
+...) on top of exactly these records, so schedulers and simulators never
+see anything but a ``Deployment`` regardless of which generator produced
+it.  Determinism contract: for a fixed seed every generator in this family
+returns bit-identical positions, adjacency and source on every call and in
+every process — the parallel sweep runner depends on it.
 """
 
 from __future__ import annotations
@@ -22,7 +36,13 @@ from repro.network.topology import WSNTopology
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_positive, require
 
-__all__ = ["DeploymentConfig", "deploy_uniform", "DeploymentError"]
+__all__ = [
+    "Deployment",
+    "DeploymentConfig",
+    "DeploymentError",
+    "deploy_uniform",
+    "grid_deployment",
+]
 
 
 class DeploymentError(RuntimeError):
@@ -77,12 +97,17 @@ class DeploymentConfig:
 
 @dataclass
 class Deployment:
-    """A generated deployment: the topology plus the selected source."""
+    """A generated deployment: the topology plus the selected source.
+
+    ``scenario`` names the generator that produced it (``"uniform"`` for
+    the paper's generator, otherwise a :mod:`repro.scenarios` registry key).
+    """
 
     topology: WSNTopology
     source: int
     config: DeploymentConfig
     attempts: int = field(default=1)
+    scenario: str = "uniform"
 
     @property
     def eccentricity(self) -> int:

@@ -192,9 +192,11 @@ class SlotEngine(_EngineBase):
             start_time = self.schedule.next_active_slot(source, start_time)
         if max_slots is None:
             depth = max(self.topology.eccentricity(source), 1)
-            worst_per_layer = 2 * self.schedule.rate * (
+            # max_rate, not rate: with heterogeneous duty cycling the cap
+            # must cover the sleepiest node's cycle length.
+            worst_per_layer = 2 * self.schedule.max_rate * (
                 max(self.topology.max_degree(), 1) + 2
             )
-            max_slots = depth * worst_per_layer + 4 * self.schedule.rate
+            max_slots = depth * worst_per_layer + 4 * self.schedule.max_rate
         limit = start_time + max_slots
         return self._run(policy, source, start_time, limit, schedule=self.schedule)

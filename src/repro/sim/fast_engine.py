@@ -64,7 +64,9 @@ class _ActivityWindow:
         # forever and leak the activity matrices.
         self._schedule_ref = weakref.ref(schedule)
         self._node_ids = [int(u) for u in view.node_ids]
-        self.rate = schedule.rate
+        # Chunk sizing tracks the slowest node so one extension always
+        # covers at least a few cycles of every node.
+        self.rate = schedule.max_rate
         self._horizon = 0
         self._matrix = np.zeros((view.num_nodes, 0), dtype=bool)
 
@@ -380,9 +382,11 @@ class FastSlotEngine(_FastEngineBase):
             start_time = self.schedule.next_active_slot(source, start_time)
         if max_slots is None:
             depth = max(self._view.eccentricity(source), 1)
-            worst_per_layer = 2 * self.schedule.rate * (
+            # max_rate mirrors SlotEngine.run so both backends cap at the
+            # same slot even under heterogeneous duty cycling.
+            worst_per_layer = 2 * self.schedule.max_rate * (
                 max(self._view.max_degree(), 1) + 2
             )
-            max_slots = depth * worst_per_layer + 4 * self.schedule.rate
+            max_slots = depth * worst_per_layer + 4 * self.schedule.max_rate
         limit = start_time + max_slots
         return self._run(policy, source, start_time, limit, schedule=self.schedule)

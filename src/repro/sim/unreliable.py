@@ -188,8 +188,8 @@ def run_lossy_broadcast(
         topology, schedule, loss_probability=loss_probability, seed=seed
     )
     depth = max(topology.eccentricity(source), 1)
-    worst_per_layer = 2 * schedule.rate * (max(topology.max_degree(), 1) + 2)
-    default_slots = int((depth * worst_per_layer + 4 * schedule.rate) * stretch)
+    worst_per_layer = 2 * schedule.max_rate * (max(topology.max_degree(), 1) + 2)
+    default_slots = int((depth * worst_per_layer + 4 * schedule.max_rate) * stretch)
     return slot_engine.run(
         policy,
         source,

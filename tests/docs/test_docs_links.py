@@ -1,0 +1,81 @@
+"""Docs health: no dead relative links, catalog in sync with the registries.
+
+This is the test the CI ``docs`` job runs; it keeps ``docs/`` and the
+README honest without pulling a docs toolchain into the dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.dutycycle.models import duty_model_names
+from repro.scenarios import scenario_names
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
+
+#: Inline markdown links ``[text](target)`` (images share the syntax).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path) -> list[str]:
+    links = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append(target)
+    return links
+
+
+def test_doc_files_exist():
+    assert (REPO_ROOT / "docs").is_dir()
+    names = {p.name for p in DOC_FILES}
+    assert {"README.md", "index.md", "architecture.md", "scenarios.md",
+            "reproduction.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_no_dead_relative_links(path: Path):
+    dead = []
+    for target in _relative_links(path):
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.is_relative_to(REPO_ROOT):
+            # GitHub-web conventions like the CI badge's ../../actions/...
+            # resolve outside the repository; they are not file links.
+            continue
+        if not resolved.exists():
+            dead.append(target)
+    assert not dead, f"dead relative links in {path.name}: {dead}"
+
+
+def test_scenario_catalog_covers_registry():
+    """Every registered scenario and duty model is documented by name."""
+    catalog = (REPO_ROOT / "docs" / "scenarios.md").read_text()
+    missing = [name for name in scenario_names() if name not in catalog]
+    assert not missing, f"scenarios missing from docs/scenarios.md: {missing}"
+    missing_models = [name for name in duty_model_names() if name not in catalog]
+    assert not missing_models, (
+        f"duty models missing from docs/scenarios.md: {missing_models}"
+    )
+
+
+def test_readme_mentions_scenario_quickstart():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "--list-scenarios" in readme
+    assert "--scenario" in readme
+    assert "docs/scenarios.md" in readme
+
+
+def test_reproduction_guide_maps_all_paper_figures():
+    guide = (REPO_ROOT / "docs" / "reproduction.md").read_text()
+    for figure in ("figure3", "figure4", "figure5", "figure6", "figure7"):
+        assert figure in guide, f"{figure} not mapped in docs/reproduction.md"
+
+
+def test_mkdocs_nav_matches_doc_files():
+    config = (REPO_ROOT / "mkdocs.yml").read_text()
+    for page in ("index.md", "architecture.md", "scenarios.md", "reproduction.md"):
+        assert page in config

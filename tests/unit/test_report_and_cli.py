@@ -94,3 +94,82 @@ class TestCli:
         assert csv_path.exists()
         assert "G-OPT" in csv_path.read_text()
         assert "Figure 3" in capsys.readouterr().out
+
+
+class TestScenarioCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("uniform", "clustered", "corridor", "ring",
+                     "perturbed-grid", "grid-holes", "knn"):
+            assert name in output
+
+    def test_list_duty_models(self, capsys):
+        assert main(["--list-duty-models"]) == 0
+        output = capsys.readouterr().out
+        assert "two-tier" in output
+        assert "zipf" in output
+
+    def test_default_target_is_sweep(self):
+        args = build_parser().parse_args(["--scenario", "clustered"])
+        assert args.target == "sweep"
+        assert args.scenario == "clustered"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scenario", "torus"])
+
+    def test_scenario_rejected_for_paper_targets(self, capsys):
+        # Paper figures/claims keep the paper's labels and thresholds, so
+        # the scenario axes are restricted to the sweep/scenarios targets.
+        with pytest.raises(SystemExit):
+            main(["figure4", "--scenario", "corridor"])
+        assert "sweep" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["claims", "--duty-model", "zipf"])
+
+    def test_explicit_uniform_allowed_for_paper_targets(self):
+        args = build_parser().parse_args(["table2", "--scenario", "uniform"])
+        assert main(["table2", "--scenario", "uniform"]) == 0
+        assert args.scenario == "uniform"
+
+    def test_malformed_nodes_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--nodes", "50,abc"])
+        assert "comma-separated integers" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--nodes", ","])
+
+    def test_sweep_target_prints_records(self, capsys):
+        exit_code = main(
+            ["sweep", "--scenario", "ring", "--duty-model", "two-tier",
+             "--nodes", "24", "--repetitions", "1", "--rate", "5",
+             "--engine", "vectorized"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "scenario=ring duty_model=two-tier" in output
+        assert "policy,system,rate,scenario,duty_model" in output
+        assert ",ring,two-tier," in output
+
+    def test_sweep_output_worker_invariant(self, capsys):
+        argv = ["sweep", "--scenario", "clustered", "--nodes", "24",
+                "--repetitions", "1", "--rate", "5", "--engine", "vectorized"]
+        assert main([*argv, "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_scenarios_target_compares_policies(self, capsys, tmp_path):
+        # 50 nodes: the paper's minimum density (a 24-node uniform deployment
+        # over the full 50x50 area is too sparse to connect).
+        exit_code = main(
+            ["scenarios", "--nodes", "50", "--repetitions", "1", "--rate", "5",
+             "--engine", "vectorized", "--csv-dir", str(tmp_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Scenario comparison" in output
+        assert "corridor" in output
+        assert (tmp_path / "scenarios.csv").exists()
