@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-__all__ = ["emit", "mean"]
+import os
+import time
+
+__all__ = ["emit", "mean", "paper_scale", "time_per_call"]
 
 
 def emit(title: str, body: str) -> None:
@@ -14,3 +17,30 @@ def mean(values) -> float:
     """Arithmetic mean of a non-empty sequence."""
     values = list(values)
     return sum(values) / len(values)
+
+
+def paper_scale() -> bool:
+    """True when ``REPRO_BENCH_SCALE=paper`` selects the full parameterisation."""
+    from repro.experiments.config import SCALE_ENV_VAR
+
+    return os.environ.get(SCALE_ENV_VAR, "quick").strip().lower() == "paper"
+
+
+def time_per_call(fn, *, min_reps: int, budget_s: float = 1.0) -> float:
+    """Best-of-three mean wall time of ``fn`` (seconds per call).
+
+    The shared timing harness of the backend benchmarks — one definition so
+    every speedup number is measured the same way.
+    """
+    fn()  # warm caches: bitset views, activity windows, BFS distances
+    best = float("inf")
+    for _ in range(3):
+        reps = min_reps
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / reps)
+        if elapsed > budget_s:
+            break
+    return best

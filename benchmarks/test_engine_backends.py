@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 
 import numpy as np
 import pytest
@@ -39,7 +38,6 @@ from repro.baselines.approx17 import Approx17Policy
 from repro.baselines.flooding import LargestFirstPolicy
 from repro.core.policies import EModelPolicy
 from repro.dutycycle.schedule import WakeupSchedule
-from repro.experiments.config import SCALE_ENV_VAR
 from repro.network.bitset import bitset_view
 from repro.network.deployment import DeploymentConfig, deploy_uniform
 from repro.network.interference import conflicting_pairs, receivers_of
@@ -47,7 +45,7 @@ from repro.sim.broadcast import run_broadcast
 from repro.sim.replay import ReplayPolicy
 from repro.sim.validation import validate_broadcast
 
-from _bench_utils import emit
+from _bench_utils import emit, paper_scale as _paper_scale, time_per_call as _time_per_call
 
 NUM_NODES = 500
 DUTY_RATES = (10, 50)
@@ -57,10 +55,6 @@ POLICIES = {
     "E-model": EModelPolicy,
 }
 SPEEDUP_TARGET = 5.0
-
-
-def _paper_scale() -> bool:
-    return os.environ.get(SCALE_ENV_VAR, "quick").strip().lower() == "paper"
 
 
 def _json_path() -> str:
@@ -110,22 +104,6 @@ def sweep_workload():
             )
             entries.append((name, rate, schedule, trace))
     return topology, source, entries
-
-
-def _time_per_call(fn, *, min_reps: int, budget_s: float = 1.0) -> float:
-    """Best-of-three mean wall time of ``fn`` (seconds per call)."""
-    fn()  # warm caches: bitset views, activity windows, BFS distances
-    best = float("inf")
-    for _ in range(3):
-        reps = min_reps
-        start = time.perf_counter()
-        for _ in range(reps):
-            fn()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed / reps)
-        if elapsed > budget_s:
-            break
-    return best
 
 
 @pytest.mark.ablation

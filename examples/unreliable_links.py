@@ -13,9 +13,15 @@ stays in the uncovered set and is served by a later advance.  This example
 * attaches the first-order radio energy model to the traces so the latency /
   energy trade-off of retransmissions is visible.
 
+Losses run through the composable simulation core
+(``run_broadcast(..., link_model=IndependentLossLinks(p, seed=s))``), so
+``--engine vectorized`` runs the same sweep on the numpy bitset backend
+with bit-identical results.
+
 Run it with::
 
-    python examples/unreliable_links.py [--nodes 100] [--max-loss 0.4]
+    python examples/unreliable_links.py [--nodes 100] [--max-loss 0.4] \
+        [--engine vectorized]
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import argparse
 
 from repro import EModelPolicy, LocalizedEModelPolicy, deploy_uniform
+from repro.sim.broadcast import ENGINE_BACKENDS
 from repro.sim.energy import EnergyModel, energy_of_broadcast
 from repro.sim.render import render_schedule_timeline, render_topology_ascii
 from repro.sim.unreliable import run_lossy_broadcast
@@ -35,6 +42,9 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=23)
     parser.add_argument("--max-loss", type=float, default=0.4)
     parser.add_argument("--steps", type=int, default=5)
+    parser.add_argument(
+        "--engine", choices=sorted(ENGINE_BACKENDS), default="reference"
+    )
     args = parser.parse_args()
 
     topology, source = deploy_uniform(num_nodes=args.nodes, seed=args.seed)
@@ -58,6 +68,7 @@ def main() -> None:
                 policy_factory(),
                 loss_probability=probability,
                 seed=args.seed + int(probability * 1000),
+                engine=args.engine,
             )
             report = energy_of_broadcast(topology, result, energy_model)
             rows.append(
@@ -66,6 +77,7 @@ def main() -> None:
                     f"{probability:.2f}",
                     result.latency,
                     result.total_transmissions,
+                    result.retransmissions,
                     f"{report.total:.0f}",
                     f"{report.hottest_node()[1]:.0f}",
                 ]
@@ -80,6 +92,7 @@ def main() -> None:
                 "loss prob",
                 "P(A) [rounds]",
                 "transmissions",
+                "retransmissions",
                 "energy [units]",
                 "hottest node",
             ],

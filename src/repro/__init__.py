@@ -69,6 +69,7 @@ from repro.network.graphs import figure1_topology, figure2_topology
 from repro.network.topology import Node, WSNTopology
 from repro.sim.broadcast import run_broadcast
 from repro.sim.energy import EnergyModel, EnergyReport, energy_of_broadcast
+from repro.sim.links import IndependentLossLinks, LinkModel, ReliableLinks
 from repro.sim.metrics import BroadcastMetrics
 from repro.sim.trace import BroadcastResult
 from repro.sim.unreliable import run_lossy_broadcast
@@ -90,8 +91,11 @@ __all__ = [
     "EnergyReport",
     "FloodingPolicy",
     "GreedyOptPolicy",
+    "IndependentLossLinks",
+    "LinkModel",
     "LocalizedEModelPolicy",
     "Node",
+    "ReliableLinks",
     "OptPolicy",
     "SchedulingPolicy",
     "SearchConfig",

@@ -37,6 +37,11 @@ class Approx17Policy(SchedulingPolicy):
 
     name = "17-approx"
 
+    #: The plan is fixed at ``prepare`` time and assumes every delivery
+    #: succeeds — under lossy links it live-locks (exactly the §VI critique
+    #: of schedulers relying on healthy links), so the engines reject it.
+    loss_tolerant = False
+
     def __init__(
         self,
         topology: WSNTopology | None = None,

@@ -78,6 +78,12 @@ class Approx26Policy(SchedulingPolicy):
 
     name = "26-approx"
 
+    #: The replayed plan assumes every delivery succeeds; over lossy links
+    #: it would schedule senders that never received the message (the §VI
+    #: critique of schedulers relying on healthy links), so the engines
+    #: reject it.
+    loss_tolerant = False
+
     def __init__(
         self, topology: WSNTopology | None = None, *, parent_mode: str = "cover"
     ) -> None:

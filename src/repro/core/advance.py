@@ -130,6 +130,15 @@ class Advance:
     num_colors:
         ``λ(W)`` — the number of colours the colouring produced, recorded
         for traces and metrics.
+    intended_receivers:
+        Set by the lossy engines only: the receivers the advance *would*
+        have reached over reliable links (the uncovered neighbours of its
+        transmitters), of which :attr:`receivers` records the subset whose
+        delivery succeeded.  ``None`` (the default, and always the value on
+        reliable links) means "identical to ``receivers``" — see
+        :attr:`intended`.  Energy and transmission accounting keys off
+        ``color`` per advance, so retransmissions are charged whether or
+        not their deliveries succeed.
     """
 
     time: int
@@ -138,6 +147,7 @@ class Advance:
     color_index: int = 0
     num_colors: int = 0
     note: str = field(default="", compare=False)
+    intended_receivers: frozenset[int] | None = None
 
     def __post_init__(self) -> None:
         if self.time < 1:
@@ -149,6 +159,16 @@ class Advance:
     def utilization(self) -> float:
         """Receivers per transmitter (the link utilisation of the advance)."""
         return len(self.receivers) / len(self.color)
+
+    @property
+    def intended(self) -> frozenset[int]:
+        """The receivers intended over reliable links (see ``intended_receivers``)."""
+        return self.receivers if self.intended_receivers is None else self.intended_receivers
+
+    @property
+    def failed_deliveries(self) -> int:
+        """Intended receivers whose delivery failed (0 on reliable links)."""
+        return len(self.intended) - len(self.receivers)
 
     @classmethod
     def from_color(

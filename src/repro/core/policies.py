@@ -56,6 +56,17 @@ class SchedulingPolicy(ABC):
     #: schedule).
     interference_free: bool = True
 
+    #: Whether the policy keeps working when deliveries may fail.  Frontier
+    #: schedulers re-plan from the *actual* covered set every round/slot, so
+    #: a node whose delivery failed simply stays in the frontier and is
+    #: re-served later — the paper's §VI graceful-degradation argument.
+    #: *Planned* policies (the layered 17/26-approximations) precompute a
+    #: fixed schedule assuming reliable delivery and either live-lock or
+    #: schedule senders that never got the message once links drop packets;
+    #: they set this to False and ``run_broadcast`` rejects them for lossy
+    #: link models instead of timing out minutes later.
+    loss_tolerant: bool = True
+
     #: Whether the policy is *frontier-driven*: it returns ``None`` (with no
     #: state change) whenever no covered node with an uncovered neighbour is
     #: awake at the current slot.  Declaring this lets the vectorized slot

@@ -21,6 +21,12 @@ Compare every policy across all registered scenarios::
 
     mlbs-experiments scenarios
 
+Exercise the §VI robustness axis — a single lossy sweep, or the full
+reliability figure (latency + retransmissions vs loss probability)::
+
+    mlbs-experiments --loss 0.2 --engine vectorized
+    mlbs-experiments reliability --loss 0.0,0.1,0.3
+
 Discover the registered workloads::
 
     mlbs-experiments --list-scenarios
@@ -44,6 +50,8 @@ from repro.experiments.config import PAPER_SWEEP, QUICK_SWEEP, SweepConfig
 from repro.experiments.report import claims_to_text, summary_claims
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.scenarios import list_scenarios, scenario_names
+from repro.sim.broadcast import ENGINE_BACKENDS
+from repro.sim.links import link_model_names
 from repro.utils.format import to_csv
 
 __all__ = ["main", "build_parser"]
@@ -75,6 +83,22 @@ def _parse_node_counts(text: str) -> tuple[int, ...]:
     return counts
 
 
+def _parse_loss(text: str) -> tuple[float, ...]:
+    """Parse ``--loss "0.1"`` or ``--loss "0.0,0.1,0.3"`` (reliability target)."""
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated probabilities, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("at least one loss probability is required")
+    bad = [v for v in values if not 0.0 <= v <= 1.0]
+    if bad:
+        raise argparse.ArgumentTypeError(f"loss probabilities must be in [0, 1]: {bad}")
+    return values
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -89,12 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default="sweep",
-        choices=[*_FIGURES, *_TABLES, "claims", "scenarios", "sweep", "all"],
+        choices=[*_FIGURES, *_TABLES, "claims", "scenarios", "reliability", "sweep", "all"],
         help=(
             "which figure/table to regenerate; 'sweep' (the default) runs one "
             "sweep and prints its records as CSV; 'scenarios' compares the "
-            "policies across deployment scenarios; 'all' covers the paper's "
-            "figures, tables and claims"
+            "policies across deployment scenarios; 'reliability' sweeps the "
+            "per-link loss probability (latency + retransmissions per policy); "
+            "'all' covers the paper's figures, tables and claims"
         ),
     )
     parser.add_argument(
@@ -131,9 +156,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["reference", "vectorized"],
+        choices=sorted(ENGINE_BACKENDS),
         default=None,
         help="simulation backend (default: reference; both are bit-identical)",
+    )
+    parser.add_argument(
+        "--loss",
+        type=_parse_loss,
+        default=None,
+        metavar="P[,P,...]",
+        help=(
+            "per-link delivery failure probability for the 'sweep' and "
+            "'scenarios' targets (implies --link-model independent-loss); the "
+            "'reliability' target accepts a comma-separated list of "
+            "probabilities to sweep (default: 0.0,0.1,0.2,0.3)"
+        ),
+    )
+    parser.add_argument(
+        "--link-model",
+        choices=link_model_names(),
+        default=None,
+        help="delivery model (default: reliable; see docs/reliability.md)",
     )
     parser.add_argument(
         "--scenario",
@@ -192,6 +235,12 @@ def _config_from_args(args: argparse.Namespace) -> SweepConfig:
         config = dataclasses.replace(config, scenario=args.scenario)
     if args.duty_model is not None:
         config = dataclasses.replace(config, duty_model=args.duty_model)
+    if args.link_model is not None:
+        config = dataclasses.replace(config, link_model=args.link_model)
+    # A single --loss value configures the sweep itself; the 'reliability'
+    # target instead sweeps its (possibly plural) probabilities one by one.
+    if args.loss is not None and args.target != "reliability":
+        config = config.with_loss(args.loss[0])
     return config
 
 
@@ -222,17 +271,38 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     # The paper-reproduction targets keep the paper's labels and claim
-    # thresholds, which are only meaningful on the paper's workload; the
-    # scenario axes belong to the 'sweep' and 'scenarios' targets.
+    # thresholds, which are only meaningful on the paper's workload (uniform
+    # deployments, reliable links); the scenario and loss axes belong to the
+    # 'sweep', 'scenarios' and 'reliability' targets.
     non_paper = [
         flag
-        for flag, value in (("--scenario", args.scenario), ("--duty-model", args.duty_model))
+        for flag, value in (
+            ("--scenario", args.scenario),
+            ("--duty-model", args.duty_model),
+        )
         if value not in (None, "uniform")
     ]
-    if non_paper and args.target not in ("sweep", "scenarios"):
+    # --loss 0.0 configures exactly the paper's reliable model, so it is as
+    # paper-safe as --link-model reliable.
+    if args.loss is not None and any(value > 0.0 for value in args.loss):
+        non_paper.append("--loss")
+    if args.link_model not in (None, "reliable"):
+        non_paper.append("--link-model")
+    if non_paper and args.target not in ("sweep", "scenarios", "reliability"):
         parser.error(
-            f"{'/'.join(non_paper)} only applies to the 'sweep' and 'scenarios' "
-            f"targets; {args.target!r} reproduces the paper's uniform workload"
+            f"{'/'.join(non_paper)} only applies to the 'sweep', 'scenarios' and "
+            f"'reliability' targets; {args.target!r} reproduces the paper's "
+            "reliable uniform workload"
+        )
+    if (
+        args.loss is not None
+        and len(args.loss) != 1
+        and args.target in ("sweep", "scenarios")
+    ):
+        parser.error(
+            "--loss takes a single probability for the 'sweep' and 'scenarios' "
+            "targets; a comma-separated list selects the points of the "
+            "'reliability' target"
         )
 
     if args.list_scenarios or args.list_duty_models:
@@ -274,11 +344,20 @@ def main(argv: list[str] | None = None) -> int:
                 config, system=args.system, rate=args.rate
             )
             _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+        elif target == "reliability":
+            result = figures_mod.figure_reliability(
+                config,
+                loss_probabilities=args.loss,
+                system=args.system,
+                rate=args.rate,
+            )
+            _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
         elif target == "sweep":
             sweep = run_sweep(config, system=args.system, rate=args.rate)
             csv = to_csv(SweepResult.ROW_HEADERS, sweep.to_rows())
             header = (
                 f"sweep: scenario={config.scenario} duty_model={config.duty_model} "
+                f"link_model={config.link_model} loss={config.loss_probability} "
                 f"system={sweep.system} rate={sweep.rate} engine={config.engine} "
                 f"records={len(sweep.records)}"
             )

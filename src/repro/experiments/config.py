@@ -25,7 +25,9 @@ from enum import Enum
 from repro.core.time_counter import SearchConfig
 from repro.dutycycle.models import duty_model_names
 from repro.scenarios import scenario_names
-from repro.utils.validation import require
+from repro.sim.broadcast import ENGINE_BACKENDS
+from repro.sim.links import link_model_names
+from repro.utils.validation import check_probability, require
 
 __all__ = [
     "ExperimentScale",
@@ -85,6 +87,16 @@ class SweepConfig:
         Named per-node rate assignment from :mod:`repro.dutycycle.models`
         (``"uniform"`` is the paper's single global rate).  Only affects
         ``system="duty"`` sweeps.
+    link_model:
+        Named delivery model from :data:`repro.sim.links.LINK_MODELS`
+        (``"reliable"`` is the paper's model; ``"independent-loss"``
+        enables the §VI robustness axis).  Orthogonal to every other axis:
+        any combination of (scenario, duty_model, engine, workers,
+        link_model) yields bit-identical records.
+    loss_probability:
+        Per-link delivery failure probability for ``"independent-loss"``
+        (must stay 0.0 for ``"reliable"``).  Every cell derives its own
+        loss-RNG seed by splitting the cell seed on ``"link-loss"``.
     """
 
     node_counts: tuple[int, ...] = (50, 100, 150, 200, 250, 300)
@@ -103,14 +115,16 @@ class SweepConfig:
     workers: int = 1
     scenario: str = "uniform"
     duty_model: str = "uniform"
+    link_model: str = "reliable"
+    loss_probability: float = 0.0
 
     def __post_init__(self) -> None:
         require(len(self.node_counts) > 0, "node_counts must not be empty")
         require(all(n >= 2 for n in self.node_counts), "node counts must be >= 2")
         require(self.repetitions >= 1, "repetitions must be >= 1")
         require(
-            self.engine in ("reference", "vectorized"),
-            f"unknown engine {self.engine!r}; expected 'reference' or 'vectorized'",
+            self.engine in ENGINE_BACKENDS,
+            f"unknown engine {self.engine!r}; expected one of {sorted(ENGINE_BACKENDS)}",
         )
         require(self.workers >= 0, "workers must be >= 0 (0 = one per CPU)")
         require(
@@ -120,6 +134,16 @@ class SweepConfig:
         require(
             self.duty_model in duty_model_names(),
             f"unknown duty model {self.duty_model!r}; registered: {duty_model_names()}",
+        )
+        require(
+            self.link_model in link_model_names(),
+            f"unknown link model {self.link_model!r}; registered: {link_model_names()}",
+        )
+        check_probability("loss_probability", self.loss_probability)
+        require(
+            self.link_model != "reliable" or self.loss_probability == 0.0,
+            "loss_probability > 0 requires link_model='independent-loss' "
+            "(reliable links never drop deliveries)",
         )
 
     @property
@@ -131,6 +155,18 @@ class SweepConfig:
     def with_repetitions(self, repetitions: int) -> "SweepConfig":
         """A copy with a different repetition count."""
         return replace(self, repetitions=repetitions)
+
+    def with_loss(self, loss_probability: float) -> "SweepConfig":
+        """A copy on the loss axis: ``0.0`` selects reliable links.
+
+        The reliability figure sweeps this knob; the zero point maps back
+        to ``"reliable"`` so its records are bit-identical to a plain sweep.
+        """
+        return replace(
+            self,
+            link_model="reliable" if loss_probability == 0.0 else "independent-loss",
+            loss_probability=loss_probability,
+        )
 
 
 #: The paper's full parameterisation (Section V-A).

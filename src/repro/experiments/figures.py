@@ -10,6 +10,9 @@ CLI (``python -m repro.experiments``) prints them as text tables / CSV.
 Beyond the paper, :func:`figure_scenarios` compares the policies *across
 deployment scenarios* (see :mod:`repro.scenarios`): one x position per
 scenario, mean latency over the whole sweep per policy.
+:func:`figure_reliability` sweeps the §VI loss axis instead: one x position
+per loss probability, with a latency series and a retransmission series per
+policy.
 """
 
 from __future__ import annotations
@@ -24,19 +27,22 @@ from repro.core.bounds import (
 )
 from repro.dutycycle.cwt import max_cwt
 from repro.experiments.config import SweepConfig, sweep_from_env
-from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.runner import SweepResult, default_policies, run_sweep
 from repro.sim.metrics import aggregate_latency
 from repro.utils.format import format_series_table, to_csv
 
 __all__ = [
     "FigureResult",
     "DEFAULT_SCENARIO_SET",
+    "DEFAULT_LOSS_PROBABILITIES",
+    "RETX_SUFFIX",
     "figure3",
     "figure4",
     "figure5",
     "figure6",
     "figure7",
     "figure_scenarios",
+    "figure_reliability",
 ]
 
 
@@ -262,5 +268,79 @@ def figure_scenarios(
         x_values=tuple(chosen),
         series=series,
         y_label=f"P(A) [{unit}]",
+        sweep=sweeps[-1] if sweeps else None,
+    )
+
+
+#: Loss probabilities swept by :func:`figure_reliability`.
+DEFAULT_LOSS_PROBABILITIES: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3)
+
+#: Suffix of the retransmission series of :func:`figure_reliability`.
+RETX_SUFFIX = " [retx]"
+
+
+def figure_reliability(
+    config: SweepConfig | None = None,
+    *,
+    loss_probabilities: tuple[float, ...] | None = None,
+    system: str = "sync",
+    rate: int = 10,
+) -> FigureResult:
+    """Robustness under lossy links: latency and retransmissions vs loss.
+
+    The §VI argument made measurable: one full sweep per loss probability
+    (``0.0`` maps to reliable links, so the leftmost column is the paper's
+    own workload), aggregated per policy to
+
+    * ``<policy>`` — mean end-to-end latency over all records, and
+    * ``<policy> [retx]`` — mean retransmission count per broadcast
+      (transmissions beyond each node's first).
+
+    The per-cell deployments and loss streams are seed-paired across the
+    loss probabilities, so a policy's curve shows the effect of losing
+    deliveries, not of resampling topologies.  Conflict-aware schedulers
+    should degrade gracefully: latency inflates roughly like ``1/(1-p)``
+    while coverage always completes.
+    """
+    config = config or sweep_from_env()
+    chosen = (
+        DEFAULT_LOSS_PROBABILITIES
+        if loss_probabilities is None
+        else tuple(loss_probabilities)
+    )
+    # One line-up for the whole figure: the loss-tolerant schedulers of the
+    # highest swept probability (planned baselines drop out of lossy sweeps),
+    # so every series spans every x position — including the 0.0 column.
+    line_up = default_policies(config.with_loss(max(chosen)), system)
+    latency_series: dict[str, list[float]] = {}
+    retx_series: dict[str, list[float]] = {}
+    sweeps: list[SweepResult] = []
+    for probability in chosen:
+        sweep = run_sweep(
+            config.with_loss(probability), system=system, rate=rate, policies=line_up
+        )
+        sweeps.append(sweep)
+        for policy in sweep.policies:
+            records = sweep.records_for(policy)
+            latency_series.setdefault(policy, []).append(
+                aggregate_latency([r.latency for r in records])["mean"]
+            )
+            retx = [r.retransmissions for r in records]
+            retx_series.setdefault(f"{policy}{RETX_SUFFIX}", []).append(
+                sum(retx) / len(retx)
+            )
+    unit = "slots" if system == "duty" else "rounds"
+    title = (
+        f"Latency and retransmissions vs per-link loss probability "
+        f"({'duty cycle r = ' + str(rate) if system == 'duty' else 'round-based'}, "
+        f"scenario {config.scenario!r})"
+    )
+    return FigureResult(
+        name="Reliability",
+        title=title,
+        x_label="loss probability",
+        x_values=chosen,
+        series={**latency_series, **retx_series},
+        y_label=f"P(A) [{unit}] / retransmissions",
         sweep=sweeps[-1] if sweeps else None,
     )

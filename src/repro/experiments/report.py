@@ -18,11 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.figures import FigureResult
+from repro.experiments.figures import RETX_SUFFIX, FigureResult
 from repro.sim.metrics import improvement_percent
 from repro.utils.format import format_table
 
-__all__ = ["ClaimCheck", "summary_claims", "claims_to_text"]
+__all__ = ["ClaimCheck", "summary_claims", "reliability_claims", "claims_to_text"]
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,56 @@ def summary_claims(
                 measured=f"{improvement:.1f}% mean improvement",
                 value=improvement,
                 holds=improvement >= duty_improvement_floor,
+            )
+        )
+    return checks
+
+
+def reliability_claims(figure: FigureResult) -> list[ClaimCheck]:
+    """Evaluate the §VI robustness claims on a reliability figure.
+
+    ``figure`` is the result of
+    :func:`repro.experiments.figures.figure_reliability`; its x axis is the
+    loss probability and its series come in pairs (``<policy>`` latency,
+    ``<policy> [retx]`` retransmissions).  Two checks per policy:
+
+    * *graceful degradation* — every broadcast completed (the sweep raises
+      otherwise) and the mean latency under losses never beats the
+      loss-free mean (losing deliveries cannot speed up coverage);
+    * *retransmissions absorb the losses* — at the highest loss rate the
+      policy retransmits at least as much as at zero loss (the frontier
+      re-serves uncovered nodes instead of live-locking).
+    """
+    checks: list[ClaimCheck] = []
+    policies = [name for name in figure.series if not name.endswith(RETX_SUFFIX)]
+    # The CLI accepts the loss points in any order; baseline on the least
+    # lossy point and compare against the lossiest one, not on positions.
+    losses = [float(value) for value in figure.x_values]
+    base = min(range(len(losses)), key=losses.__getitem__)
+    peak = max(range(len(losses)), key=losses.__getitem__)
+    for policy in policies:
+        latency = figure.series_for(policy)
+        degradation = min(value - latency[base] for value in latency)
+        checks.append(
+            ClaimCheck(
+                claim=f"{policy}: losses never speed up the broadcast",
+                paper="§VI: uncovered nodes stay in the frontier",
+                measured=(
+                    f"mean latency {latency[base]:.1f} -> {latency[peak]:.1f} "
+                    f"across loss {losses[base]}..{losses[peak]}"
+                ),
+                value=latency[peak] - latency[base],
+                holds=degradation >= 0.0,
+            )
+        )
+        retx = figure.series_for(f"{policy}{RETX_SUFFIX}")
+        checks.append(
+            ClaimCheck(
+                claim=f"{policy}: retransmissions absorb the losses",
+                paper="graceful degradation, no protocol change",
+                measured=f"mean retransmissions {retx[base]:.1f} -> {retx[peak]:.1f}",
+                value=retx[peak],
+                holds=retx[peak] >= retx[base],
             )
         )
     return checks

@@ -22,16 +22,21 @@ contract has three legs:
 2. *Pure generators.*  Deployment scenarios (:mod:`repro.scenarios`) and
    duty-model rate assignments (:mod:`repro.dutycycle.models`) are pure
    functions of ``(name, config, seed)``; the cell seed is further split
-   (``"wakeup-schedule"``, ``"duty-model"``) so the axes stay independent.
+   (``"wakeup-schedule"``, ``"duty-model"``, ``"link-loss"``) so the axes
+   stay independent.  The ``"link-loss"`` stream in particular seeds the
+   lossy link model once per cell, and the link model re-derives its RNG
+   per broadcast, so every policy of a cell faces the same delivery
+   pattern regardless of execution order, worker count or engine.
 3. *Deterministic reassembly.*  ``run_sweep`` re-assembles worker results
    in the serial cell order (``pool.imap``, not ``imap_unordered``).
 
 ``run_sweep(..., workers=N)`` fans the cells out over a process pool
 (``workers=0`` means one per CPU); ``engine="vectorized"`` switches every
 broadcast (and its validation) to the numpy bitset backend, which is
-trace-identical to the reference engine.  Any combination of
-``(scenario, duty_model, engine, workers)`` therefore changes *what* is
-simulated or *how fast*, never the records' reproducibility.
+trace-identical to the reference engine — including over lossy links.  Any
+combination of ``(scenario, duty_model, link_model, engine, workers)``
+therefore changes *what* is simulated or *how fast*, never the records'
+reproducibility.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ from repro.experiments.config import SweepConfig
 from repro.network.deployment import DeploymentConfig, deploy_uniform
 from repro.scenarios import generate_scenario
 from repro.sim.broadcast import run_broadcast
+from repro.sim.links import build_link_model
 from repro.sim.metrics import aggregate_latency
 from repro.utils.rng import derive_seed
 
@@ -68,6 +74,8 @@ class RunRecord:
     rate: int
     scenario: str
     duty_model: str
+    link_model: str
+    loss_probability: float
     num_nodes: int
     density: float
     repetition: int
@@ -78,6 +86,7 @@ class RunRecord:
     end_time: int
     num_advances: int
     total_transmissions: int
+    retransmissions: int
 
 
 @dataclass
@@ -140,6 +149,8 @@ class SweepResult:
                 r.rate,
                 r.scenario,
                 r.duty_model,
+                r.link_model,
+                f"{r.loss_probability:.3f}",
                 r.num_nodes,
                 f"{r.density:.4f}",
                 r.repetition,
@@ -150,6 +161,7 @@ class SweepResult:
                 r.end_time,
                 r.num_advances,
                 r.total_transmissions,
+                r.retransmissions,
             ]
             for r in self.records
         ]
@@ -160,6 +172,8 @@ class SweepResult:
         "rate",
         "scenario",
         "duty_model",
+        "link_model",
+        "loss_probability",
         "num_nodes",
         "density",
         "repetition",
@@ -170,7 +184,18 @@ class SweepResult:
         "end_time",
         "num_advances",
         "total_transmissions",
+        "retransmissions",
     )
+
+
+def _factory_loss_tolerant(factory: PolicyFactory) -> bool:
+    """Whether a policy factory produces loss-tolerant policies.
+
+    Inspects the class attribute through ``functools.partial`` wrappers so
+    the default line-up can be filtered without instantiating anything.
+    """
+    target = factory.func if isinstance(factory, functools.partial) else factory
+    return getattr(target, "loss_tolerant", True)
 
 
 def default_policies(
@@ -181,11 +206,16 @@ def default_policies(
     Round-based: 26-approximation, OPT, G-OPT, E-model (Figure 3).
     Duty-cycle: 17-approximation, OPT, G-OPT, E-model (Figures 4 and 6).
 
+    On a lossy link model the planned baselines drop out: they replay a
+    fixed schedule that assumes reliable delivery and live-lock once
+    deliveries fail (the §VI critique), so the lossy line-up is the
+    frontier schedulers that degrade gracefully.
+
     The factories are :func:`functools.partial` objects over importable
     classes, so the mapping pickles cleanly into worker processes.
     """
     if system == "sync":
-        return {
+        line_up: dict[str, PolicyFactory] = {
             "26-approx": Approx26Policy,
             "OPT": functools.partial(
                 OptPolicy, search=config.search, max_color_classes=config.max_color_classes
@@ -193,8 +223,8 @@ def default_policies(
             "G-OPT": functools.partial(GreedyOptPolicy, search=config.search),
             "E-model": EModelPolicy,
         }
-    if system == "duty":
-        return {
+    elif system == "duty":
+        line_up = {
             "17-approx": Approx17Policy,
             "OPT": functools.partial(
                 OptPolicy, search=config.search, max_color_classes=config.max_color_classes
@@ -202,7 +232,15 @@ def default_policies(
             "G-OPT": functools.partial(GreedyOptPolicy, search=config.search),
             "E-model": EModelPolicy,
         }
-    raise ValueError(f"unknown system {system!r}; expected 'sync' or 'duty'")
+    else:
+        raise ValueError(f"unknown system {system!r}; expected 'sync' or 'duty'")
+    if config.link_model != "reliable":
+        line_up = {
+            name: factory
+            for name, factory in line_up.items()
+            if _factory_loss_tolerant(factory)
+        }
+    return line_up
 
 
 @dataclass(frozen=True)
@@ -259,6 +297,14 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
             model=config.duty_model,
             model_seed=derive_seed(seed, "duty-model"),
         )
+    # The loss stream is split off the cell seed once; the link model
+    # re-derives its RNG per broadcast, so every policy of the cell is
+    # paired against the same delivery pattern.
+    link_model = build_link_model(
+        config.link_model,
+        loss_probability=config.loss_probability,
+        seed=derive_seed(seed, "link-loss"),
+    )
     eccentricity = topology.eccentricity(source)
 
     records: list[RunRecord] = []
@@ -271,6 +317,7 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
             schedule=schedule,
             align_start=cell.system == "duty",
             engine=cell.engine,
+            link_model=link_model,
         )
         records.append(
             RunRecord(
@@ -279,6 +326,8 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
                 rate=cell.rate if cell.system == "duty" else 1,
                 scenario=config.scenario,
                 duty_model=config.duty_model if cell.system == "duty" else "uniform",
+                link_model=config.link_model,
+                loss_probability=config.loss_probability,
                 num_nodes=cell.num_nodes,
                 density=cell.num_nodes / area,
                 repetition=cell.repetition,
@@ -289,6 +338,7 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
                 end_time=trace.end_time,
                 num_advances=trace.num_advances,
                 total_transmissions=trace.total_transmissions,
+                retransmissions=trace.retransmissions,
             )
         )
     return records

@@ -144,7 +144,9 @@ class BitsetTopology:
 
     def nodes_from_bool(self, mask: np.ndarray) -> frozenset[int]:
         """Convert a boolean membership vector back to node ids."""
-        return frozenset(int(u) for u in self.node_ids[mask])
+        # tolist() yields Python ints in one C pass — the per-element
+        # int() loop dominated the lossy fast path at 500 nodes.
+        return frozenset(self.node_ids[mask].tolist())
 
     # ------------------------------------------------------------------
     # Vectorized interference kernels
@@ -214,6 +216,25 @@ class BitsetTopology:
         counts = self.adjacency_u8[tx_idx].sum(axis=0, dtype=np.int64)
         conflict = bool(np.any((counts >= 2) & uncovered))
         return conflict, (counts > 0) & uncovered
+
+    def delivery_candidates(
+        self, tx_idx: np.ndarray, covered_bool: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate delivery pairs of an advance, in canonical order.
+
+        Returns ``(pair_rows, pair_cols)`` where pair ``i`` is the delivery
+        attempt from transmitter ``tx_idx[pair_rows[i]]`` to the uncovered
+        neighbour at row ``pair_cols[i]``.  ``np.nonzero`` on the sliced
+        adjacency is row-major and ``tx_idx`` is sorted ascending (node-id
+        order, as :meth:`indices` guarantees), so the pairs enumerate in
+        ascending ``(transmitter id, receiver id)`` order — the canonical
+        RNG-draw order of :class:`repro.sim.links.IndependentLossLinks`.
+        """
+        if len(tx_idx) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        candidates = self.adjacency[tx_idx] & ~covered_bool
+        return np.nonzero(candidates)
 
     def collision_victims_bool(
         self, tx_idx: np.ndarray, covered_bool: np.ndarray

@@ -4,6 +4,14 @@ from repro.sim.broadcast import ENGINE_BACKENDS, run_broadcast
 from repro.sim.energy import EnergyModel, EnergyReport, energy_of_broadcast
 from repro.sim.engine import RoundEngine, SimulationTimeout, SlotEngine
 from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
+from repro.sim.links import (
+    LINK_MODELS,
+    IndependentLossLinks,
+    LinkModel,
+    ReliableLinks,
+    build_link_model,
+    link_model_names,
+)
 from repro.sim.metrics import BroadcastMetrics, improvement_percent
 from repro.sim.render import render_schedule_timeline, render_topology_ascii
 from repro.sim.replay import ReplayPolicy
@@ -24,15 +32,21 @@ __all__ = [
     "EnergyReport",
     "FastRoundEngine",
     "FastSlotEngine",
+    "IndependentLossLinks",
+    "LINK_MODELS",
+    "LinkModel",
     "LossyRoundEngine",
     "LossySlotEngine",
+    "ReliableLinks",
     "ReplayPolicy",
     "RoundEngine",
     "ScheduleViolation",
     "SimulationTimeout",
     "SlotEngine",
     "assert_valid",
+    "build_link_model",
     "energy_of_broadcast",
+    "link_model_names",
     "improvement_percent",
     "reliability_sweep",
     "render_schedule_timeline",

@@ -4,7 +4,14 @@
 experiments and benchmarks) call: it wires the policy's
 :meth:`~repro.core.policies.SchedulingPolicy.prepare` hook, picks the right
 engine for the system model (round-based when no wake-up schedule is given,
-slot-based otherwise) and returns the full :class:`~repro.sim.trace.BroadcastResult`.
+slot-based otherwise), applies the requested
+:class:`~repro.sim.links.LinkModel` (reliable by default) and returns the
+full :class:`~repro.sim.trace.BroadcastResult`.
+
+:data:`ENGINE_BACKENDS` is the *single* registry of engine backends: the
+experiment configuration, the CLI and the lossy shims of
+:mod:`repro.sim.unreliable` all resolve engine classes through it, so a new
+backend plugs in here and is immediately selectable everywhere.
 """
 
 from __future__ import annotations
@@ -14,13 +21,15 @@ from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.topology import WSNTopology
 from repro.sim.engine import RoundEngine, SlotEngine
 from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
+from repro.sim.links import LinkModel, ReliableLinks
 from repro.sim.trace import BroadcastResult
 from repro.sim.validation import assert_valid
 
 __all__ = ["run_broadcast", "ENGINE_BACKENDS"]
 
 #: Engine backends selectable via ``run_broadcast(..., engine=...)``:
-#: ``(round_engine_cls, slot_engine_cls)`` per backend name.
+#: ``(round_engine_cls, slot_engine_cls)`` per backend name.  Both classes
+#: of a backend accept ``link_model=`` as their last constructor argument.
 ENGINE_BACKENDS = {
     "reference": (RoundEngine, SlotEngine),
     "vectorized": (FastRoundEngine, FastSlotEngine),
@@ -38,6 +47,7 @@ def run_broadcast(
     max_time: int | None = None,
     validate: bool = True,
     engine: str = "reference",
+    link_model: LinkModel | None = None,
 ) -> BroadcastResult:
     """Broadcast from ``source`` under ``policy`` and return the trace.
 
@@ -60,15 +70,25 @@ def run_broadcast(
         or after ``start_time`` (the paper's examples assume ``t_s ∈ T(s)``).
     max_time:
         Optional cap on simulated rounds/slots (defaults to a generous bound
-        derived from the baselines' worst case).
+        derived from the baselines' worst case, stretched by the link
+        model's expected retransmission factor).
     validate:
         Re-validate the produced trace against the network model before
-        returning (cheap; disable only in tight benchmarking loops).
+        returning (cheap; disable only in tight benchmarking loops).  Lossy
+        traces are validated against the *delivered* receivers.
     engine:
         ``"reference"`` (the frozenset/bigint engines, the correctness
         oracle) or ``"vectorized"`` (the numpy bitset backend of
-        :mod:`repro.sim.fast_engine`).  Both produce bit-identical traces;
-        the vectorized backend is the fast path for large sweeps.
+        :mod:`repro.sim.fast_engine`).  Both produce bit-identical traces
+        for any link model; the vectorized backend is the fast path for
+        large sweeps.
+    link_model:
+        Delivery semantics: ``None`` / :class:`~repro.sim.links.ReliableLinks`
+        for the paper's model, or
+        :class:`~repro.sim.links.IndependentLossLinks` for independent
+        per-link failures (§VI robustness).  Any ``engine`` combines with
+        any link model; the traces are bit-identical per (model, seed)
+        across backends.
 
     Returns
     -------
@@ -83,14 +103,21 @@ def run_broadcast(
             f"unknown engine backend {engine!r}; expected one of "
             f"{sorted(ENGINE_BACKENDS)}"
         ) from None
+    link = ReliableLinks() if link_model is None else link_model
+    if not link.lossless and not getattr(policy, "loss_tolerant", True):
+        raise ValueError(
+            f"policy {policy.name!r} replays a fixed plan that assumes reliable "
+            "delivery and cannot run over lossy links; use a frontier scheduler "
+            "(OPT, G-OPT, E-model, largest-first) for the loss axis"
+        )
     policy.prepare(topology, schedule, source)
     if schedule is None:
-        round_engine = round_engine_cls(topology)
+        round_engine = round_engine_cls(topology, link_model=link)
         result = round_engine.run(
             policy, source, start_time=start_time, max_rounds=max_time
         )
     else:
-        slot_engine = slot_engine_cls(topology, schedule)
+        slot_engine = slot_engine_cls(topology, schedule, link_model=link)
         result = slot_engine.run(
             policy,
             source,
@@ -99,5 +126,11 @@ def run_broadcast(
             max_slots=max_time,
         )
     if validate:
-        assert_valid(topology, result, schedule=schedule, backend=engine)
+        assert_valid(
+            topology,
+            result,
+            schedule=schedule,
+            backend=engine,
+            lossy=not link.lossless,
+        )
     return result

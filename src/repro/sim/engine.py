@@ -1,8 +1,10 @@
-"""Round-based and slot-based broadcast engines.
+"""Round-based and slot-based broadcast engines (the set-based kernel).
 
 The engines own the simulation loop; every scheduling decision is delegated
-to a :class:`repro.core.policies.SchedulingPolicy`.  Both engines enforce
-the paper's network model at the boundary:
+to a :class:`repro.core.policies.SchedulingPolicy`, and every *delivery* to
+a :class:`repro.sim.links.LinkModel` (reliable by default, lossy for the
+§VI robustness experiments).  Both engines enforce the paper's network
+model at the boundary:
 
 * a node may only relay if it already holds the message;
 * (slot engine) a node may only relay in a slot contained in its wake-up
@@ -11,17 +13,26 @@ the paper's network model at the boundary:
   with respect to the nodes that still need the message — a policy
   returning a conflicting set is a bug and the engine fails loudly instead
   of silently simulating an invalid schedule;
-* the nodes reached by an advance are exactly the uncovered neighbours of
-  its transmitters.
+* the nodes *intended* by an advance are exactly the uncovered neighbours
+  of its transmitters; the link model then decides which of them actually
+  receive the message (all of them, for :class:`~repro.sim.links.ReliableLinks`).
+
+``_EngineBase._run`` is the shared broadcast kernel: one loop serves the
+reliable and the lossy configurations of both system models, so there is a
+single place where coverage, timing and trace recording are defined (the
+numpy-bitset twin lives in :mod:`repro.sim.fast_engine`).
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 from repro.core.advance import Advance, BroadcastState
 from repro.core.policies import SchedulingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.interference import conflicting_pairs, receivers_of
 from repro.network.topology import WSNTopology
+from repro.sim.links import LinkModel, ReliableLinks
 from repro.sim.trace import BroadcastResult
 from repro.utils.validation import require
 
@@ -35,8 +46,9 @@ class SimulationTimeout(RuntimeError):
 class _EngineBase:
     """Shared bookkeeping of both engines."""
 
-    def __init__(self, topology: WSNTopology) -> None:
+    def __init__(self, topology: WSNTopology, link_model: LinkModel | None = None) -> None:
         self.topology = topology
+        self.link_model = ReliableLinks() if link_model is None else link_model
 
     def _check_advance(
         self,
@@ -86,6 +98,8 @@ class _EngineBase:
     ) -> BroadcastResult:
         require(source in self.topology, f"unknown source node {source}")
         require(start_time >= 1, "start_time is 1-based")
+        link = self.link_model
+        link_state = None if link.lossless else link.make_state()
         covered: frozenset[int] = frozenset({source})
         advances: list[Advance] = []
         time = start_time
@@ -114,10 +128,20 @@ class _EngineBase:
                     schedule,
                     check_conflicts=getattr(policy, "interference_free", True),
                 )
-                covered = covered | advance.receivers
-                if advance.receivers:
+                if link.lossless:
+                    recorded = advance
+                    delivered = advance.receivers
+                else:
+                    delivered = link.deliver(link_state, self.topology, advance, covered)
+                    recorded = replace(
+                        advance,
+                        receivers=delivered,
+                        intended_receivers=advance.receivers,
+                    )
+                covered = covered | delivered
+                if delivered:
                     end_time = time
-                advances.append(advance)
+                advances.append(recorded)
             time += 1
 
         return BroadcastResult(
@@ -152,7 +176,10 @@ class RoundEngine(_EngineBase):
         require(source in self.topology, f"unknown source node {source}")
         if max_rounds is None:
             depth = max(self.topology.eccentricity(source), 1)
-            max_rounds = depth * max(self.topology.max_degree(), 1) + depth + 8
+            max_rounds = int(
+                (depth * max(self.topology.max_degree(), 1) + depth + 8)
+                * self.link_model.limit_stretch
+            )
         limit = start_time + max_rounds
         return self._run(policy, source, start_time, limit, schedule=None)
 
@@ -160,8 +187,13 @@ class RoundEngine(_EngineBase):
 class SlotEngine(_EngineBase):
     """The asynchronous duty-cycle system: relays only at wake-up slots."""
 
-    def __init__(self, topology: WSNTopology, schedule: WakeupSchedule) -> None:
-        super().__init__(topology)
+    def __init__(
+        self,
+        topology: WSNTopology,
+        schedule: WakeupSchedule,
+        link_model: LinkModel | None = None,
+    ) -> None:
+        super().__init__(topology, link_model)
         missing = set(topology.node_ids) - set(schedule.node_ids)
         if missing:
             raise ValueError(
@@ -197,6 +229,9 @@ class SlotEngine(_EngineBase):
             worst_per_layer = 2 * self.schedule.max_rate * (
                 max(self.topology.max_degree(), 1) + 2
             )
-            max_slots = depth * worst_per_layer + 4 * self.schedule.max_rate
+            max_slots = int(
+                (depth * worst_per_layer + 4 * self.schedule.max_rate)
+                * self.link_model.limit_stretch
+            )
         limit = start_time + max_slots
         return self._run(policy, source, start_time, limit, schedule=self.schedule)

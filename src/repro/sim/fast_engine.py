@@ -3,11 +3,14 @@
 :class:`FastRoundEngine` and :class:`FastSlotEngine` are drop-in
 replacements for :class:`~repro.sim.engine.RoundEngine` and
 :class:`~repro.sim.engine.SlotEngine`: same constructor and ``run``
-signatures, same :class:`~repro.core.policies.SchedulingPolicy` protocol,
-same error messages, and — by construction — *bit-identical*
-:class:`~repro.sim.trace.BroadcastResult` traces (the parity suite in
-``tests/property`` and ``benchmarks/test_engine_backends.py`` enforces
-this).  What changes is how the engine-side work is carried out:
+signatures (including the :class:`~repro.sim.links.LinkModel` strategy,
+so every backend × reliability combination runs through the same kernel),
+same :class:`~repro.core.policies.SchedulingPolicy` protocol, same error
+messages, and — by construction — *bit-identical*
+:class:`~repro.sim.trace.BroadcastResult` traces, reliable and lossy alike
+(the parity suites in ``tests/property`` and the benchmarks in
+``benchmarks/test_engine_backends.py`` / ``benchmarks/test_lossy_engines.py``
+enforce this).  What changes is how the engine-side work is carried out:
 
 * coverage and receiver sets are boolean vectors over the
   :class:`~repro.network.bitset.BitsetTopology` view, so interference
@@ -31,6 +34,7 @@ this).  What changes is how the engine-side work is carried out:
 
 from __future__ import annotations
 
+import dataclasses
 import weakref
 from bisect import bisect_left
 
@@ -42,6 +46,7 @@ from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.bitset import BitsetTopology, bitset_view
 from repro.network.topology import WSNTopology
 from repro.sim.engine import SimulationTimeout
+from repro.sim.links import LinkModel, ReliableLinks
 from repro.sim.trace import BroadcastResult
 from repro.utils.validation import require
 
@@ -173,8 +178,9 @@ def _window_for(schedule: WakeupSchedule, view: BitsetTopology) -> _ActivityWind
 class _FastEngineBase:
     """Shared vectorized bookkeeping of both engines."""
 
-    def __init__(self, topology: WSNTopology) -> None:
+    def __init__(self, topology: WSNTopology, link_model: LinkModel | None = None) -> None:
         self.topology = topology
+        self.link_model = ReliableLinks() if link_model is None else link_model
         self._view = bitset_view(topology)
 
     def _check_advance(
@@ -186,12 +192,13 @@ class _FastEngineBase:
         window: _ActivityWindow | None,
         *,
         check_conflicts: bool = True,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Validate ``advance``; return its receivers as (bool vector, indices).
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Validate ``advance``; return (transmitter rows, receivers bool, receiver rows).
 
         Raises exactly the errors (and messages) of the reference engine's
-        ``_check_advance``; the receiver representations are returned so the
-        caller can apply the coverage union without re-deriving them.
+        ``_check_advance``; the transmitter/receiver representations are
+        returned so the caller can apply the link model and the coverage
+        union without re-deriving them.
         """
         view = self._view
         if advance.time != time:
@@ -233,7 +240,7 @@ class _FastEngineBase:
                 "advance.receivers does not match the uncovered neighbours of its "
                 f"transmitters at time {time}"
             )
-        return expected_bool, recorded_idx
+        return tx_idx, expected_bool, recorded_idx
 
     def _run(
         self,
@@ -247,6 +254,8 @@ class _FastEngineBase:
         require(start_time >= 1, "start_time is 1-based")
         view = self._view
         num_nodes = view.num_nodes
+        link = self.link_model
+        link_state = None if link.lossless else link.make_state()
         check_conflicts = getattr(policy, "interference_free", True)
         skip_idle = schedule is not None and getattr(policy, "frontier_driven", False)
         window = None if schedule is None else _window_for(schedule, view)
@@ -299,7 +308,7 @@ class _FastEngineBase:
             state = BroadcastState.for_engine(self.topology, covered, time, schedule)
             advance = policy.select_advance(state)
             if advance is not None:
-                receivers_bool, receivers_idx = self._check_advance(
+                tx_idx, receivers_bool, receivers_idx = self._check_advance(
                     advance,
                     covered,
                     covered_bool,
@@ -307,17 +316,33 @@ class _FastEngineBase:
                     window,
                     check_conflicts=check_conflicts,
                 )
-                if advance.receivers:
-                    covered = covered | advance.receivers
-                    covered_bool |= receivers_bool
-                    covered_count += len(advance.receivers)
+                if link.lossless:
+                    recorded = advance
+                    delivered = advance.receivers
+                    delivered_bool = receivers_bool
+                    delivered_idx = receivers_idx
+                else:
+                    delivered_bool = link.deliver_bool(
+                        link_state, view, tx_idx, receivers_bool, covered_bool
+                    )
+                    delivered = view.nodes_from_bool(delivered_bool)
+                    delivered_idx = np.flatnonzero(delivered_bool)
+                    recorded = dataclasses.replace(
+                        advance,
+                        receivers=delivered,
+                        intended_receivers=advance.receivers,
+                    )
+                if delivered:
+                    covered = covered | delivered
+                    covered_bool |= delivered_bool
+                    covered_count += len(delivered)
                     if skip_idle:
-                        uncovered_degree -= view.adjacency_u8[:, receivers_idx].sum(
+                        uncovered_degree -= view.adjacency_u8[:, delivered_idx].sum(
                             axis=1, dtype=np.int64
                         )
                         frontier_idx = None
                     end_time = time
-                advances.append(advance)
+                advances.append(recorded)
             time += 1
 
         return BroadcastResult(
@@ -347,7 +372,10 @@ class FastRoundEngine(_FastEngineBase):
         require(source in self.topology, f"unknown source node {source}")
         if max_rounds is None:
             depth = max(self._view.eccentricity(source), 1)
-            max_rounds = depth * max(self._view.max_degree(), 1) + depth + 8
+            max_rounds = int(
+                (depth * max(self._view.max_degree(), 1) + depth + 8)
+                * self.link_model.limit_stretch
+            )
         limit = start_time + max_rounds
         return self._run(policy, source, start_time, limit, schedule=None)
 
@@ -355,8 +383,13 @@ class FastRoundEngine(_FastEngineBase):
 class FastSlotEngine(_FastEngineBase):
     """Vectorized duty-cycle engine (parity twin of ``SlotEngine``)."""
 
-    def __init__(self, topology: WSNTopology, schedule: WakeupSchedule) -> None:
-        super().__init__(topology)
+    def __init__(
+        self,
+        topology: WSNTopology,
+        schedule: WakeupSchedule,
+        link_model: LinkModel | None = None,
+    ) -> None:
+        super().__init__(topology, link_model)
         if topology.node_ids != schedule.node_ids:
             missing = set(topology.node_ids) - set(schedule.node_ids)
             if missing:
@@ -387,6 +420,9 @@ class FastSlotEngine(_FastEngineBase):
             worst_per_layer = 2 * self.schedule.max_rate * (
                 max(self._view.max_degree(), 1) + 2
             )
-            max_slots = depth * worst_per_layer + 4 * self.schedule.max_rate
+            max_slots = int(
+                (depth * worst_per_layer + 4 * self.schedule.max_rate)
+                * self.link_model.limit_stretch
+            )
         limit = start_time + max_slots
         return self._run(policy, source, start_time, limit, schedule=self.schedule)

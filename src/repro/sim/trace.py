@@ -75,6 +75,26 @@ class BroadcastResult:
         """Rounds/slots in the broadcast window without any transmission."""
         return self.latency - self.num_advances
 
+    @property
+    def retransmissions(self) -> int:
+        """Transmissions beyond each node's first.
+
+        Over lossy links an uncovered node simply stays in the frontier, so
+        a relay whose deliveries failed is scheduled again later; this
+        counts those repeat transmissions across the whole trace.  (Frontier
+        policies never retransmit over reliable links; layered baselines may
+        legally transmit a node twice, so this is not strictly a loss
+        metric — compare against the loss-free trace of the same policy.)
+        """
+        return sum(
+            count - 1 for count in self.transmissions_by_node().values() if count > 1
+        )
+
+    @property
+    def failed_deliveries(self) -> int:
+        """Intended deliveries that failed across all advances (lossy links)."""
+        return sum(advance.failed_deliveries for advance in self.advances)
+
     def is_complete(self, topology: WSNTopology) -> bool:
         """True iff every node of ``topology`` ended up covered."""
         return self.covered == topology.node_set

@@ -5,127 +5,57 @@ interference-free links" suffer retransmissions and even live-lock once
 signals fail.  The conflict-aware schedulers of this paper degrade
 gracefully: a node that misses a transmission simply stays uncovered, so it
 remains part of the frontier's uncovered set and a later advance re-serves
-it — no protocol change is needed.  This module provides the lossy engines
-that exercise exactly that behaviour, plus a small experiment helper used by
-the robustness example and the reliability ablation bench.
+it — no protocol change is needed.
 
-Loss model
-----------
-Each (transmitter, potential receiver) delivery in an advance fails
-independently with probability ``loss_probability``.  A receiver covered by
-several same-round transmitters of the selected relay set would only hear
-garbage anyway if those transmitters conflicted, so — consistent with the
-interference model — it receives the message iff the delivery from at least
-one transmitter it can hear succeeds.
+Since the composable-core refactor this module no longer owns an engine
+loop: the loss model lives in :class:`repro.sim.links.IndependentLossLinks`
+and runs inside the shared kernels of *both* backends, so
+``run_broadcast(..., link_model=..., engine=...)`` is the canonical entry
+point and the loss axis composes with every scenario, duty model, engine
+and worker count (see :mod:`repro.experiments.runner`).  What remains here:
+
+* :func:`run_lossy_broadcast` — a convenience wrapper over
+  :func:`~repro.sim.broadcast.run_broadcast` for one lossy run;
+* :class:`LossyRoundEngine` / :class:`LossySlotEngine` — **deprecated**
+  shims kept for source compatibility: each is exactly the corresponding
+  reference engine (resolved through
+  :data:`~repro.sim.broadcast.ENGINE_BACKENDS`, never imported directly)
+  constructed with an :class:`IndependentLossLinks` model;
+* :func:`reliability_sweep` — the small latency-inflation helper used by
+  the robustness example and the reliability ablation bench.
+
+Note on traces: a lossy advance records the *delivered* receivers in
+``Advance.receivers`` and the uncovered neighbours the advance would have
+reached over reliable links in ``Advance.intended_receivers``, so energy
+and transmission accounting (which keys off ``Advance.color``) charges
+retransmissions correctly and ``BroadcastResult.retransmissions`` /
+``failed_deliveries`` can be derived from the trace alone.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.policies import SchedulingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.topology import WSNTopology
-from repro.sim.engine import RoundEngine, SimulationTimeout, SlotEngine
+from repro.sim.broadcast import ENGINE_BACKENDS, run_broadcast
+from repro.sim.links import IndependentLossLinks
 from repro.sim.trace import BroadcastResult
-from repro.utils.rng import derive_seed, make_rng
-from repro.utils.validation import check_probability
+from repro.utils.rng import derive_seed
 
 __all__ = ["LossyRoundEngine", "LossySlotEngine", "run_lossy_broadcast", "LossySweepPoint"]
 
-
-class _LossMixin:
-    """Shared delivery-failure logic for the lossy engines."""
-
-    def _init_loss(self, loss_probability: float, seed: int | None) -> None:
-        check_probability("loss_probability", loss_probability)
-        self._loss_probability = loss_probability
-        self._loss_rng = make_rng(seed)
-
-    @property
-    def loss_probability(self) -> float:
-        """Per-link delivery failure probability."""
-        return self._loss_probability
-
-    def _apply_losses(self, advance, covered):
-        """Return the receivers that actually got the message this round."""
-        if self._loss_probability == 0.0:
-            return advance.receivers
-        delivered: set[int] = set()
-        for transmitter in sorted(advance.color):
-            for receiver in sorted(self.topology.neighbors(transmitter)):
-                if receiver in covered or receiver in delivered:
-                    continue
-                if self._loss_rng.random() >= self._loss_probability:
-                    delivered.add(receiver)
-        return frozenset(delivered)
-
-    def _run(self, policy, source, start_time, limit, schedule):  # type: ignore[override]
-        """The engine loop of :class:`_EngineBase`, with lossy deliveries.
-
-        The structure mirrors the reliable engine; the only difference is
-        that the receivers actually covered are the subset of the advance's
-        intended receivers whose delivery succeeded.
-        """
-        from repro.core.advance import Advance, BroadcastState
-        from repro.utils.validation import require
-
-        require(source in self.topology, f"unknown source node {source}")
-        require(start_time >= 1, "start_time is 1-based")
-        covered: frozenset[int] = frozenset({source})
-        advances: list[Advance] = []
-        time = start_time
-        end_time = start_time - 1
-        full = self.topology.node_set
-
-        while covered != full:
-            if time > limit:
-                raise SimulationTimeout(
-                    f"lossy broadcast did not complete by time {limit} "
-                    f"(covered {len(covered)}/{len(full)} nodes, "
-                    f"loss probability {self._loss_probability})"
-                )
-            state = BroadcastState(
-                topology=self.topology, covered=covered, time=time, schedule=schedule
-            )
-            advance = policy.select_advance(state)
-            if advance is not None:
-                self._check_advance(
-                    advance,
-                    covered,
-                    time,
-                    schedule,
-                    check_conflicts=getattr(policy, "interference_free", True),
-                )
-                delivered = self._apply_losses(advance, covered)
-                recorded = Advance(
-                    time=advance.time,
-                    color=advance.color,
-                    receivers=delivered,
-                    color_index=advance.color_index,
-                    num_colors=advance.num_colors,
-                    note=advance.note,
-                )
-                covered = covered | delivered
-                if delivered:
-                    end_time = time
-                advances.append(recorded)
-            time += 1
-
-        return BroadcastResult(
-            policy_name=policy.name,
-            source=source,
-            start_time=start_time,
-            end_time=max(end_time, start_time - 1),
-            covered=covered,
-            advances=tuple(advances),
-            synchronous=schedule is None,
-            cycle_rate=1 if schedule is None else schedule.rate,
-        )
+_REFERENCE_ROUND, _REFERENCE_SLOT = ENGINE_BACKENDS["reference"]
 
 
-class LossyRoundEngine(_LossMixin, RoundEngine):
-    """Round-based engine with independent per-link delivery failures."""
+class LossyRoundEngine(_REFERENCE_ROUND):
+    """Deprecated shim: the reference round engine with independent losses.
+
+    Prefer ``run_broadcast(..., link_model=IndependentLossLinks(p, seed=s))``,
+    which additionally composes with the vectorized backend.
+    """
 
     def __init__(
         self,
@@ -134,12 +64,30 @@ class LossyRoundEngine(_LossMixin, RoundEngine):
         loss_probability: float,
         seed: int | None = 0,
     ) -> None:
-        RoundEngine.__init__(self, topology)
-        self._init_loss(loss_probability, seed)
+        warnings.warn(
+            "LossyRoundEngine is a deprecated shim; use run_broadcast(..., "
+            "link_model=IndependentLossLinks(p, seed=s)).  Note the lossy RNG "
+            "stream changed with the composable-core refactor (one draw per "
+            "candidate pair, canonical order), so seed-pinned traces differ "
+            "from pre-refactor runs.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            topology, link_model=IndependentLossLinks(loss_probability, seed=seed)
+        )
+
+    @property
+    def loss_probability(self) -> float:
+        """Per-link delivery failure probability."""
+        return self.link_model.loss_probability
 
 
-class LossySlotEngine(_LossMixin, SlotEngine):
-    """Slot-based (duty-cycle) engine with per-link delivery failures."""
+class LossySlotEngine(_REFERENCE_SLOT):
+    """Deprecated shim: the reference slot engine with independent losses.
+
+    Prefer ``run_broadcast(..., schedule=..., link_model=...)``.
+    """
 
     def __init__(
         self,
@@ -149,8 +97,24 @@ class LossySlotEngine(_LossMixin, SlotEngine):
         loss_probability: float,
         seed: int | None = 0,
     ) -> None:
-        SlotEngine.__init__(self, topology, schedule)
-        self._init_loss(loss_probability, seed)
+        warnings.warn(
+            "LossySlotEngine is a deprecated shim; use run_broadcast(..., "
+            "schedule=..., link_model=IndependentLossLinks(p, seed=s)).  Note "
+            "the lossy RNG stream changed with the composable-core refactor, "
+            "so seed-pinned traces differ from pre-refactor runs.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            topology,
+            schedule,
+            link_model=IndependentLossLinks(loss_probability, seed=seed),
+        )
+
+    @property
+    def loss_probability(self) -> float:
+        """Per-link delivery failure probability."""
+        return self.link_model.loss_probability
 
 
 def run_lossy_broadcast(
@@ -164,38 +128,37 @@ def run_lossy_broadcast(
     start_time: int = 1,
     align_start: bool = False,
     max_time: int | None = None,
+    engine: str = "reference",
+    validate: bool | None = None,
 ) -> BroadcastResult:
     """Run one broadcast over unreliable links and return the trace.
 
-    Mirrors :func:`repro.sim.broadcast.run_broadcast` (including the policy
-    ``prepare`` hook); the default time limit is scaled up by the expected
-    number of retransmissions ``1 / (1 - p)`` so that high loss rates do not
-    trip the reliable engine's timeout prematurely.
+    A thin wrapper over :func:`repro.sim.broadcast.run_broadcast` with an
+    :class:`~repro.sim.links.IndependentLossLinks` model: the default time
+    limit is scaled up by the expected number of retransmissions
+    ``1 / (1 - p)`` (via the link model's ``limit_stretch``) so that high
+    loss rates do not trip the reliable worst-case bound prematurely, and
+    ``engine`` selects any registered backend — the traces are
+    bit-identical per (probability, seed) across backends.
+
+    ``validate`` defaults to the policy's ``interference_free`` flag: the
+    trace validator re-imposes interference-freedom, which policies like
+    idealised flooding deliberately opt out of (pre-refactor, lossy runs
+    were never validated at all, so this keeps those callers working).
     """
-    check_probability("loss_probability", loss_probability)
-    policy.prepare(topology, schedule, source)
-    stretch = 1.0 / max(1.0 - loss_probability, 0.05)
-    if schedule is None:
-        engine = LossyRoundEngine(
-            topology, loss_probability=loss_probability, seed=seed
-        )
-        depth = max(topology.eccentricity(source), 1)
-        default_rounds = int((depth * max(topology.max_degree(), 1) + depth + 8) * stretch)
-        return engine.run(
-            policy, source, start_time=start_time, max_rounds=max_time or default_rounds
-        )
-    slot_engine = LossySlotEngine(
-        topology, schedule, loss_probability=loss_probability, seed=seed
-    )
-    depth = max(topology.eccentricity(source), 1)
-    worst_per_layer = 2 * schedule.max_rate * (max(topology.max_degree(), 1) + 2)
-    default_slots = int((depth * worst_per_layer + 4 * schedule.max_rate) * stretch)
-    return slot_engine.run(
-        policy,
+    if validate is None:
+        validate = getattr(policy, "interference_free", True)
+    return run_broadcast(
+        topology,
         source,
+        policy,
+        schedule=schedule,
         start_time=start_time,
         align_start=align_start,
-        max_slots=max_time or default_slots,
+        max_time=max_time,
+        validate=validate,
+        engine=engine,
+        link_model=IndependentLossLinks(loss_probability, seed=seed),
     )
 
 
@@ -218,6 +181,7 @@ def reliability_sweep(
     loss_probabilities=(0.0, 0.1, 0.2, 0.3),
     repetitions: int = 3,
     base_seed: int = 0,
+    engine: str = "reference",
 ) -> list[LossySweepPoint]:
     """Sweep the loss probability and report latency inflation.
 
@@ -237,6 +201,7 @@ def reliability_sweep(
                 policy_factory(),
                 loss_probability=probability,
                 seed=seed,
+                engine=engine,
             )
             latencies.append(result.latency)
         mean_latency = sum(latencies) / len(latencies)

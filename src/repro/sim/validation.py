@@ -12,10 +12,17 @@ paper's model constraints:
 3.  transmitters of the same round/slot are mutually interference-free with
     respect to the nodes that still needed the message;
 4.  the recorded receivers are exactly the uncovered neighbours of the
-    transmitters;
+    transmitters — or, for a lossy trace (``lossy=True``), a *subset* of
+    them, with the advance's ``intended_receivers`` matching the model's
+    expected receivers exactly;
 5.  coverage is complete at the end and every node received the message
     exactly once (no duplicate delivery in the trace);
 6.  times are within ``[start_time, end_time]`` and strictly increasing.
+
+Lossy traces (produced by ``run_broadcast(..., link_model=...)`` with a
+lossy :class:`~repro.sim.links.LinkModel`) are validated against the
+*delivered* receivers on both backends: every constraint above still holds,
+only the receiver-equality of check 4 relaxes to subset-plus-intent.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ def validate_broadcast(
     schedule: WakeupSchedule | None = None,
     require_complete: bool = True,
     backend: str = "reference",
+    lossy: bool = False,
 ) -> list[str]:
     """Return a list of violation descriptions (empty when the trace is valid).
 
@@ -50,9 +58,14 @@ def validate_broadcast(
     it is what ``run_broadcast(engine="vectorized")`` uses so that validation
     does not hand the hot path back to Python set loops.  The reference
     backend remains the oracle the vectorized one is tested against.
+
+    ``lossy=True`` validates a trace produced over a lossy link model: the
+    recorded receivers must be a subset of the model's expected receivers
+    (the *delivered* subset), and any recorded ``intended_receivers`` must
+    equal the expected receivers exactly.
     """
     if backend == "vectorized":
-        return _validate_vectorized(topology, result, schedule, require_complete)
+        return _validate_vectorized(topology, result, schedule, require_complete, lossy)
     if backend != "reference":
         raise ValueError(
             f"unknown validation backend {backend!r}; expected 'reference' or 'vectorized'"
@@ -86,7 +99,22 @@ def validate_broadcast(
             violations.append(f"{prefix}: conflicting transmitter pairs {conflicts}")
 
         expected = receivers_of(topology, advance.color, frozenset(covered))
-        if expected != advance.receivers:
+        if lossy:
+            if advance.intended_receivers is not None and (
+                advance.intended_receivers != expected
+            ):
+                violations.append(
+                    f"{prefix}: intended receivers "
+                    f"{sorted(advance.intended_receivers)} differ from the "
+                    f"model's {sorted(expected)}"
+                )
+            if not advance.receivers <= expected:
+                extra = advance.receivers - expected
+                violations.append(
+                    f"{prefix}: delivered receivers include nodes the model "
+                    f"could not reach {sorted(extra)}"
+                )
+        elif expected != advance.receivers:
             violations.append(
                 f"{prefix}: recorded receivers {sorted(advance.receivers)} differ "
                 f"from the model's {sorted(expected)}"
@@ -119,6 +147,7 @@ def _validate_vectorized(
     result: BroadcastResult,
     schedule: WakeupSchedule | None,
     require_complete: bool,
+    lossy: bool = False,
 ) -> list[str]:
     """Array-based twin of the reference validator (identical output).
 
@@ -136,7 +165,11 @@ def _validate_vectorized(
     advances = result.advances
     if not advances:
         return validate_broadcast(
-            topology, result, schedule=schedule, require_complete=require_complete
+            topology,
+            result,
+            schedule=schedule,
+            require_complete=require_complete,
+            lossy=lossy,
         )
     view = bitset_view(topology)
     index = view._index  # noqa: SLF001 - sibling module of the same backend
@@ -145,19 +178,31 @@ def _validate_vectorized(
         result.source not in known
         or not result.covered <= known
         or any(
-            not (advance.color <= known and advance.receivers <= known)
+            not (
+                advance.color <= known
+                and advance.receivers <= known
+                and advance.intended <= known
+            )
             for advance in advances
         )
     ):
         # Traces referencing unknown nodes cannot be mapped onto the array
         # view; the reference validator reports them node by node.
         return validate_broadcast(
-            topology, result, schedule=schedule, require_complete=require_complete
+            topology,
+            result,
+            schedule=schedule,
+            require_complete=require_complete,
+            lossy=lossy,
         )
 
     def fail() -> list[str]:
         return validate_broadcast(
-            topology, result, schedule=schedule, require_complete=require_complete
+            topology,
+            result,
+            schedule=schedule,
+            require_complete=require_complete,
+            lossy=lossy,
         )
 
     num_advances = len(advances)
@@ -220,12 +265,40 @@ def _validate_vectorized(
     if np.any((hear >= 2.0) & uncovered_before):
         return fail()
     expected_mat = (hear >= 1.0) & uncovered_before
-    if not np.array_equal(expected_mat, recv_mat):
+    if lossy:
+        # Delivered receivers must be a subset of the expected ones, and any
+        # recorded intent must match the model exactly.  Advances without a
+        # recorded intent (reliable advances inside a lossy validation) fall
+        # back to their receivers, for which equality is the subset check.
+        if np.any(recv_mat & ~expected_mat):
+            return fail()
+        intended_rows = np.repeat(arange, [len(a.intended) for a in advances])
+        if lookup is not None:
+            intended_cols = lookup[
+                np.fromiter((u for a in advances for u in a.intended), dtype=np.int64)
+            ]
+        else:
+            intended_cols = np.fromiter(
+                (index[u] for a in advances for u in a.intended), dtype=np.int64
+            )
+        intended_mat = np.zeros((num_advances, num_nodes), dtype=bool)
+        intended_mat[intended_rows, intended_cols] = True
+        has_intent = np.fromiter(
+            (a.intended_receivers is not None for a in advances),
+            dtype=bool,
+            count=num_advances,
+        )
+        if not np.array_equal(
+            intended_mat[has_intent], expected_mat[has_intent]
+        ):
+            return fail()
+    elif not np.array_equal(expected_mat, recv_mat):
         return fail()
     # 5. No duplicate delivery is implied by check 4: recorded receivers
-    # equal the expected ones, which are restricted to ~covered_before (the
-    # complement of source + everything delivered earlier), so a duplicate
-    # necessarily fails the equality above and takes the fail() path.
+    # equal (or, lossy, are a subset of) the expected ones, which are
+    # restricted to ~covered_before (the complement of source + everything
+    # delivered earlier), so a duplicate necessarily fails the check above
+    # and takes the fail() path.
 
     covered_final = covered_before[-1] | recv_mat[-1]
     if result.covered == topology.node_set:
@@ -245,6 +318,7 @@ def assert_valid(
     schedule: WakeupSchedule | None = None,
     require_complete: bool = True,
     backend: str = "reference",
+    lossy: bool = False,
 ) -> None:
     """Raise :class:`ScheduleViolation` when the trace violates the model."""
     violations = validate_broadcast(
@@ -253,6 +327,7 @@ def assert_valid(
         schedule=schedule,
         require_complete=require_complete,
         backend=backend,
+        lossy=lossy,
     )
     if violations:
         details = "\n  - ".join(violations)

@@ -13,6 +13,7 @@ import pytest
 
 from repro.dutycycle.models import duty_model_names
 from repro.scenarios import scenario_names
+from repro.sim.links import link_model_names
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 DOC_FILES = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
@@ -34,7 +35,7 @@ def test_doc_files_exist():
     assert (REPO_ROOT / "docs").is_dir()
     names = {p.name for p in DOC_FILES}
     assert {"README.md", "index.md", "architecture.md", "scenarios.md",
-            "reproduction.md"} <= names
+            "reliability.md", "reproduction.md"} <= names
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
@@ -77,5 +78,23 @@ def test_reproduction_guide_maps_all_paper_figures():
 
 def test_mkdocs_nav_matches_doc_files():
     config = (REPO_ROOT / "mkdocs.yml").read_text()
-    for page in ("index.md", "architecture.md", "scenarios.md", "reproduction.md"):
+    for page in ("index.md", "architecture.md", "scenarios.md", "reliability.md",
+                 "reproduction.md"):
         assert page in config
+
+
+def test_reliability_guide_covers_link_models():
+    """Every registered link model is documented by name, with the contract."""
+    guide = (REPO_ROOT / "docs" / "reliability.md").read_text()
+    missing = [name for name in link_model_names() if name not in guide]
+    assert not missing, f"link models missing from docs/reliability.md: {missing}"
+    # The determinism contract and the CLI surface are the load-bearing bits.
+    assert "link-loss" in guide
+    assert "--loss" in guide
+    assert "figure_reliability" in guide
+
+
+def test_architecture_guide_describes_link_model_split():
+    guide = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    assert "LinkModel" in guide
+    assert "reliability.md" in guide
