@@ -66,12 +66,13 @@ from repro.baselines.flooding import FloodingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.deployment import DeploymentConfig, deploy_uniform
 from repro.network.graphs import figure1_topology, figure2_topology
+from repro.network.sources import select_sources
 from repro.network.topology import Node, WSNTopology
 from repro.sim.broadcast import run_broadcast
 from repro.sim.energy import EnergyModel, EnergyReport, energy_of_broadcast
 from repro.sim.links import IndependentLossLinks, LinkModel, ReliableLinks
-from repro.sim.metrics import BroadcastMetrics
-from repro.sim.trace import BroadcastResult
+from repro.sim.metrics import BroadcastMetrics, MultiBroadcastMetrics
+from repro.sim.trace import BroadcastResult, MultiBroadcastResult
 from repro.sim.unreliable import run_lossy_broadcast
 
 __version__ = "1.0.0"
@@ -94,6 +95,8 @@ __all__ = [
     "IndependentLossLinks",
     "LinkModel",
     "LocalizedEModelPolicy",
+    "MultiBroadcastMetrics",
+    "MultiBroadcastResult",
     "Node",
     "ReliableLinks",
     "OptPolicy",
@@ -112,6 +115,7 @@ __all__ = [
     "greedy_color_classes",
     "run_broadcast",
     "run_lossy_broadcast",
+    "select_sources",
     "sync_26_bound",
     "sync_opt_bound",
     "__version__",

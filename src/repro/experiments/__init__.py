@@ -9,19 +9,23 @@ from repro.experiments.config import (
 )
 from repro.experiments.figures import (
     DEFAULT_SCENARIO_SET,
+    DEFAULT_SOURCE_COUNTS,
     figure3,
     figure4,
     figure5,
     figure6,
     figure7,
+    figure_multisource,
+    figure_reliability,
     figure_scenarios,
 )
 from repro.experiments.runner import RunRecord, SweepResult, run_sweep
 from repro.experiments.tables import table2, table3, table4
-from repro.experiments.report import summary_claims
+from repro.experiments.report import multisource_claims, summary_claims
 
 __all__ = [
     "DEFAULT_SCENARIO_SET",
+    "DEFAULT_SOURCE_COUNTS",
     "ExperimentScale",
     "PAPER_SWEEP",
     "QUICK_SWEEP",
@@ -33,7 +37,10 @@ __all__ = [
     "figure5",
     "figure6",
     "figure7",
+    "figure_multisource",
+    "figure_reliability",
     "figure_scenarios",
+    "multisource_claims",
     "run_sweep",
     "summary_claims",
     "sweep_from_env",

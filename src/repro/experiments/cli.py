@@ -27,6 +27,13 @@ reliability figure (latency + retransmissions vs loss probability)::
     mlbs-experiments --loss 0.2 --engine vectorized
     mlbs-experiments reliability --loss 0.0,0.1,0.3
 
+Run the multi-source workload — a single sweep with ``k`` concurrent
+messages, or the full multisource figure (makespan latency + total energy
+vs ``k``)::
+
+    mlbs-experiments --sources 4 --source-placement spread
+    mlbs-experiments multisource --sources 1,2,4
+
 Discover the registered workloads::
 
     mlbs-experiments --list-scenarios
@@ -49,6 +56,7 @@ from repro.experiments import tables as tables_mod
 from repro.experiments.config import PAPER_SWEEP, QUICK_SWEEP, SweepConfig
 from repro.experiments.report import claims_to_text, summary_claims
 from repro.experiments.runner import SweepResult, run_sweep
+from repro.network.sources import placement_names
 from repro.scenarios import list_scenarios, scenario_names
 from repro.sim.broadcast import ENGINE_BACKENDS
 from repro.sim.links import link_model_names
@@ -99,6 +107,22 @@ def _parse_loss(text: str) -> tuple[float, ...]:
     return values
 
 
+def _parse_sources(text: str) -> tuple[int, ...]:
+    """Parse ``--sources "4"`` or ``--sources "1,2,4"`` (multisource target)."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("at least one source count is required")
+    bad = [v for v in values if v < 1]
+    if bad:
+        raise argparse.ArgumentTypeError(f"source counts must be >= 1: {bad}")
+    return values
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -113,13 +137,24 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default="sweep",
-        choices=[*_FIGURES, *_TABLES, "claims", "scenarios", "reliability", "sweep", "all"],
+        choices=[
+            *_FIGURES,
+            *_TABLES,
+            "claims",
+            "scenarios",
+            "reliability",
+            "multisource",
+            "sweep",
+            "all",
+        ],
         help=(
             "which figure/table to regenerate; 'sweep' (the default) runs one "
             "sweep and prints its records as CSV; 'scenarios' compares the "
             "policies across deployment scenarios; 'reliability' sweeps the "
             "per-link loss probability (latency + retransmissions per policy); "
-            "'all' covers the paper's figures, tables and claims"
+            "'multisource' sweeps the concurrent-message count (makespan + "
+            "energy per policy); 'all' covers the paper's figures, tables and "
+            "claims"
         ),
     )
     parser.add_argument(
@@ -177,6 +212,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=link_model_names(),
         default=None,
         help="delivery model (default: reliable; see docs/reliability.md)",
+    )
+    parser.add_argument(
+        "--sources",
+        type=_parse_sources,
+        default=None,
+        metavar="K[,K,...]",
+        help=(
+            "number of concurrent broadcast messages for the 'sweep' and "
+            "'scenarios' targets (default: 1, the paper's single source); the "
+            "'multisource' target accepts a comma-separated list of source "
+            "counts to sweep (default: 1,2,4)"
+        ),
+    )
+    parser.add_argument(
+        "--source-placement",
+        choices=placement_names(),
+        default=None,
+        help=(
+            "placement strategy for the extra sources of a multi-source run "
+            "(default: random; see docs/workloads.md)"
+        ),
     )
     parser.add_argument(
         "--scenario",
@@ -241,6 +297,12 @@ def _config_from_args(args: argparse.Namespace) -> SweepConfig:
     # target instead sweeps its (possibly plural) probabilities one by one.
     if args.loss is not None and args.target != "reliability":
         config = config.with_loss(args.loss[0])
+    if args.source_placement is not None:
+        config = dataclasses.replace(config, source_placement=args.source_placement)
+    # Same split for --sources: a single value configures the sweep; the
+    # 'multisource' target sweeps its (possibly plural) counts one by one.
+    if args.sources is not None and args.target != "multisource":
+        config = dataclasses.replace(config, n_sources=args.sources[0])
     return config
 
 
@@ -283,26 +345,44 @@ def main(argv: list[str] | None = None) -> int:
         if value not in (None, "uniform")
     ]
     # --loss 0.0 configures exactly the paper's reliable model, so it is as
-    # paper-safe as --link-model reliable.
+    # paper-safe as --link-model reliable; --sources 1 likewise selects the
+    # paper's single-source broadcast.
     if args.loss is not None and any(value > 0.0 for value in args.loss):
         non_paper.append("--loss")
     if args.link_model not in (None, "reliable"):
         non_paper.append("--link-model")
-    if non_paper and args.target not in ("sweep", "scenarios", "reliability"):
+    if args.sources is not None and any(value > 1 for value in args.sources):
+        non_paper.append("--sources")
+    # --source-placement random is the default strategy (and a no-op at the
+    # paper's n_sources=1), so only a non-default choice is non-paper.
+    if args.source_placement not in (None, "random"):
+        non_paper.append("--source-placement")
+    workload_targets = ("sweep", "scenarios", "reliability", "multisource")
+    if non_paper and args.target not in workload_targets:
         parser.error(
-            f"{'/'.join(non_paper)} only applies to the 'sweep', 'scenarios' and "
-            f"'reliability' targets; {args.target!r} reproduces the paper's "
-            "reliable uniform workload"
+            f"{'/'.join(non_paper)} only applies to the 'sweep', 'scenarios', "
+            f"'reliability' and 'multisource' targets; {args.target!r} "
+            "reproduces the paper's reliable uniform workload"
         )
     if (
         args.loss is not None
         and len(args.loss) != 1
-        and args.target in ("sweep", "scenarios")
+        and args.target != "reliability"
     ):
         parser.error(
-            "--loss takes a single probability for the 'sweep' and 'scenarios' "
-            "targets; a comma-separated list selects the points of the "
-            "'reliability' target"
+            "--loss takes a single probability for the 'sweep', 'scenarios' "
+            "and 'multisource' targets; a comma-separated list selects the "
+            "points of the 'reliability' target"
+        )
+    if (
+        args.sources is not None
+        and len(args.sources) != 1
+        and args.target != "multisource"
+    ):
+        parser.error(
+            "--sources takes a single count for the 'sweep', 'scenarios' and "
+            "'reliability' targets; a comma-separated list selects the points "
+            "of the 'multisource' target"
         )
 
     if args.list_scenarios or args.list_duty_models:
@@ -352,12 +432,21 @@ def main(argv: list[str] | None = None) -> int:
                 rate=args.rate,
             )
             _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+        elif target == "multisource":
+            result = figures_mod.figure_multisource(
+                config,
+                source_counts=args.sources,
+                system=args.system,
+                rate=args.rate,
+            )
+            _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
         elif target == "sweep":
             sweep = run_sweep(config, system=args.system, rate=args.rate)
             csv = to_csv(SweepResult.ROW_HEADERS, sweep.to_rows())
             header = (
                 f"sweep: scenario={config.scenario} duty_model={config.duty_model} "
                 f"link_model={config.link_model} loss={config.loss_probability} "
+                f"sources={config.n_sources} placement={config.source_placement} "
                 f"system={sweep.system} rate={sweep.rate} engine={config.engine} "
                 f"records={len(sweep.records)}"
             )

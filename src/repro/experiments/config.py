@@ -24,6 +24,7 @@ from enum import Enum
 
 from repro.core.time_counter import SearchConfig
 from repro.dutycycle.models import duty_model_names
+from repro.network.sources import placement_names
 from repro.scenarios import scenario_names
 from repro.sim.broadcast import ENGINE_BACKENDS
 from repro.sim.links import link_model_names
@@ -97,6 +98,19 @@ class SweepConfig:
         Per-link delivery failure probability for ``"independent-loss"``
         (must stay 0.0 for ``"reliable"``).  Every cell derives its own
         loss-RNG seed by splitting the cell seed on ``"link-loss"``.
+    n_sources:
+        Number of concurrent broadcast messages per cell (the multi-source
+        workload).  ``1`` is the paper's single-source broadcast and keeps
+        every record bit-identical to pre-multi-source sweeps; ``k > 1``
+        runs ``k`` contending wavefronts and drops the planned baselines
+        (they cannot re-plan around slot contention).
+    source_placement:
+        Named strategy from :data:`repro.network.sources.SOURCE_PLACEMENTS`
+        positioning the ``n_sources - 1`` extra sources around the
+        deployment's eccentricity-vetted source (``"random"``, ``"spread"``
+        or ``"corner"``); ignored for ``n_sources=1``.  Each cell derives
+        its placement seed by splitting the cell seed on ``"multi-source"``,
+        so records stay bit-identical for any worker count and engine.
     """
 
     node_counts: tuple[int, ...] = (50, 100, 150, 200, 250, 300)
@@ -117,6 +131,8 @@ class SweepConfig:
     duty_model: str = "uniform"
     link_model: str = "reliable"
     loss_probability: float = 0.0
+    n_sources: int = 1
+    source_placement: str = "random"
 
     def __post_init__(self) -> None:
         require(len(self.node_counts) > 0, "node_counts must not be empty")
@@ -145,6 +161,17 @@ class SweepConfig:
             "loss_probability > 0 requires link_model='independent-loss' "
             "(reliable links never drop deliveries)",
         )
+        require(self.n_sources >= 1, "n_sources must be >= 1")
+        require(
+            self.n_sources <= min(self.node_counts),
+            f"n_sources={self.n_sources} exceeds the smallest node count "
+            f"{min(self.node_counts)}",
+        )
+        require(
+            self.source_placement in placement_names(),
+            f"unknown source placement {self.source_placement!r}; "
+            f"registered: {placement_names()}",
+        )
 
     @property
     def densities(self) -> tuple[float, ...]:
@@ -166,6 +193,18 @@ class SweepConfig:
             self,
             link_model="reliable" if loss_probability == 0.0 else "independent-loss",
             loss_probability=loss_probability,
+        )
+
+    def with_sources(self, n_sources: int, placement: str | None = None) -> "SweepConfig":
+        """A copy on the multi-source axis (``1`` is the paper's workload).
+
+        The multisource figure sweeps this knob; ``n_sources=1`` records are
+        bit-identical to a plain sweep of the same configuration.
+        """
+        return replace(
+            self,
+            n_sources=n_sources,
+            source_placement=self.source_placement if placement is None else placement,
         )
 
 

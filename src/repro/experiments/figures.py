@@ -12,7 +12,10 @@ deployment scenarios* (see :mod:`repro.scenarios`): one x position per
 scenario, mean latency over the whole sweep per policy.
 :func:`figure_reliability` sweeps the §VI loss axis instead: one x position
 per loss probability, with a latency series and a retransmission series per
-policy.
+policy.  :func:`figure_multisource` sweeps the concurrent-message count
+``k``: one x position per source count, with a makespan-latency series and
+a total-energy series per policy (the workload catalog's multi-source
+entry — see ``docs/workloads.md``).
 """
 
 from __future__ import annotations
@@ -35,7 +38,9 @@ __all__ = [
     "FigureResult",
     "DEFAULT_SCENARIO_SET",
     "DEFAULT_LOSS_PROBABILITIES",
+    "DEFAULT_SOURCE_COUNTS",
     "RETX_SUFFIX",
+    "ENERGY_SUFFIX",
     "figure3",
     "figure4",
     "figure5",
@@ -43,6 +48,7 @@ __all__ = [
     "figure7",
     "figure_scenarios",
     "figure_reliability",
+    "figure_multisource",
 ]
 
 
@@ -342,5 +348,79 @@ def figure_reliability(
         x_values=chosen,
         series={**latency_series, **retx_series},
         y_label=f"P(A) [{unit}] / retransmissions",
+        sweep=sweeps[-1] if sweeps else None,
+    )
+
+
+#: Concurrent-message counts swept by :func:`figure_multisource`.
+DEFAULT_SOURCE_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+#: Suffix of the total-energy series of :func:`figure_multisource`.
+ENERGY_SUFFIX = " [energy]"
+
+
+def figure_multisource(
+    config: SweepConfig | None = None,
+    *,
+    source_counts: tuple[int, ...] | None = None,
+    placement: str | None = None,
+    system: str = "duty",
+    rate: int = 10,
+) -> FigureResult:
+    """Latency and energy vs the number of concurrent messages ``k``.
+
+    The multi-source workload made measurable: one full sweep per source
+    count (``k = 1`` is the paper's single-source broadcast, so the
+    leftmost column reproduces the plain sweep bit-for-bit), aggregated per
+    policy to
+
+    * ``<policy>`` — mean makespan latency (completion of the slowest
+      message) over all records, and
+    * ``<policy> [energy]`` — mean total broadcast energy under the default
+      :class:`~repro.sim.energy.EnergyModel` (tx + rx/overhearing + idle
+      listening over the shared window).
+
+    The per-cell deployments and placement streams are seed-paired across
+    the source counts, so a policy's curve shows the cost of concurrent
+    wavefronts contending for slots, not of resampling topologies.  One
+    line-up spans every column (the planned baselines drop out of ``k > 1``
+    sweeps, so the figure keeps the frontier schedulers throughout).
+    """
+    config = config or sweep_from_env()
+    chosen = (
+        DEFAULT_SOURCE_COUNTS if source_counts is None else tuple(source_counts)
+    )
+    if placement is not None:
+        config = dataclasses.replace(config, source_placement=placement)
+    line_up = default_policies(config.with_sources(max(chosen)), system)
+    latency_series: dict[str, list[float]] = {}
+    energy_series: dict[str, list[float]] = {}
+    sweeps: list[SweepResult] = []
+    for count in chosen:
+        sweep = run_sweep(
+            config.with_sources(count), system=system, rate=rate, policies=line_up
+        )
+        sweeps.append(sweep)
+        for policy in sweep.policies:
+            records = sweep.records_for(policy)
+            latency_series.setdefault(policy, []).append(
+                aggregate_latency([r.latency for r in records])["mean"]
+            )
+            energy_series.setdefault(f"{policy}{ENERGY_SUFFIX}", []).append(
+                aggregate_latency([r.total_energy for r in records])["mean"]
+            )
+    unit = "slots" if system == "duty" else "rounds"
+    title = (
+        f"Makespan latency and total energy vs concurrent messages "
+        f"({'duty cycle r = ' + str(rate) if system == 'duty' else 'round-based'}, "
+        f"placement {config.source_placement!r})"
+    )
+    return FigureResult(
+        name="Multi-source",
+        title=title,
+        x_label="concurrent messages k",
+        x_values=tuple(float(count) for count in chosen),
+        series={**latency_series, **energy_series},
+        y_label=f"makespan [{unit}] / energy [model units]",
         sweep=sweeps[-1] if sweeps else None,
     )

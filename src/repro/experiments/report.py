@@ -18,11 +18,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.figures import RETX_SUFFIX, FigureResult
+from repro.experiments.figures import ENERGY_SUFFIX, RETX_SUFFIX, FigureResult
 from repro.sim.metrics import improvement_percent
 from repro.utils.format import format_table
 
-__all__ = ["ClaimCheck", "summary_claims", "reliability_claims", "claims_to_text"]
+__all__ = [
+    "ClaimCheck",
+    "summary_claims",
+    "reliability_claims",
+    "multisource_claims",
+    "claims_to_text",
+]
 
 
 @dataclass(frozen=True)
@@ -161,6 +167,54 @@ def reliability_claims(figure: FigureResult) -> list[ClaimCheck]:
                 measured=f"mean retransmissions {retx[base]:.1f} -> {retx[peak]:.1f}",
                 value=retx[peak],
                 holds=retx[peak] >= retx[base],
+            )
+        )
+    return checks
+
+
+def multisource_claims(figure: FigureResult) -> list[ClaimCheck]:
+    """Evaluate the structural multi-source claims on a multisource figure.
+
+    ``figure`` is the result of
+    :func:`repro.experiments.figures.figure_multisource`; its x axis is the
+    concurrent-message count ``k`` and its series come in pairs
+    (``<policy>`` makespan, ``<policy> [energy]`` total energy).  Two
+    checks per policy:
+
+    * *concurrency is never free* — every message must still cover the
+      whole network, so the mean makespan at the largest ``k`` is at least
+      the single-message mean (wavefronts add work and contend for slots);
+    * *energy grows with the message count* — more wavefronts mean more
+      transmissions and a same-or-longer idle window, so the mean total
+      energy is non-decreasing from the smallest to the largest ``k``.
+    """
+    checks: list[ClaimCheck] = []
+    policies = [name for name in figure.series if not name.endswith(ENERGY_SUFFIX)]
+    counts = [float(value) for value in figure.x_values]
+    base = min(range(len(counts)), key=counts.__getitem__)
+    peak = max(range(len(counts)), key=counts.__getitem__)
+    for policy in policies:
+        makespan = figure.series_for(policy)
+        checks.append(
+            ClaimCheck(
+                claim=f"{policy}: concurrent messages never shrink the makespan",
+                paper="every wavefront still covers the whole network",
+                measured=(
+                    f"mean makespan {makespan[base]:.1f} -> {makespan[peak]:.1f} "
+                    f"across k = {counts[base]:.0f}..{counts[peak]:.0f}"
+                ),
+                value=makespan[peak] - makespan[base],
+                holds=makespan[peak] >= makespan[base],
+            )
+        )
+        energy = figure.series_for(f"{policy}{ENERGY_SUFFIX}")
+        checks.append(
+            ClaimCheck(
+                claim=f"{policy}: total energy grows with the message count",
+                paper="more wavefronts burn more radio energy",
+                measured=f"mean energy {energy[base]:.0f} -> {energy[peak]:.0f}",
+                value=energy[peak],
+                holds=energy[peak] >= energy[base],
             )
         )
     return checks

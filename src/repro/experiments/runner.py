@@ -22,11 +22,13 @@ contract has three legs:
 2. *Pure generators.*  Deployment scenarios (:mod:`repro.scenarios`) and
    duty-model rate assignments (:mod:`repro.dutycycle.models`) are pure
    functions of ``(name, config, seed)``; the cell seed is further split
-   (``"wakeup-schedule"``, ``"duty-model"``, ``"link-loss"``) so the axes
-   stay independent.  The ``"link-loss"`` stream in particular seeds the
-   lossy link model once per cell, and the link model re-derives its RNG
-   per broadcast, so every policy of a cell faces the same delivery
-   pattern regardless of execution order, worker count or engine.
+   (``"wakeup-schedule"``, ``"duty-model"``, ``"link-loss"``,
+   ``"multi-source"``) so the axes stay independent.  The ``"link-loss"``
+   stream in particular seeds the lossy link model once per cell, and the
+   link model re-derives its RNG per broadcast, so every policy of a cell
+   faces the same delivery pattern regardless of execution order, worker
+   count or engine; the ``"multi-source"`` stream likewise fixes the extra
+   source placement per cell.
 3. *Deterministic reassembly.*  ``run_sweep`` re-assembles worker results
    in the serial cell order (``pool.imap``, not ``imap_unordered``).
 
@@ -54,8 +56,10 @@ from repro.core.policies import EModelPolicy, GreedyOptPolicy, OptPolicy, Schedu
 from repro.dutycycle.models import build_wakeup_schedule
 from repro.experiments.config import SweepConfig
 from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.network.sources import select_sources
 from repro.scenarios import generate_scenario
 from repro.sim.broadcast import run_broadcast
+from repro.sim.energy import energy_of_broadcast
 from repro.sim.links import build_link_model
 from repro.sim.metrics import aggregate_latency
 from repro.utils.rng import derive_seed
@@ -67,7 +71,16 @@ PolicyFactory = Callable[[], SchedulingPolicy]
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One broadcast of one policy on one deployment."""
+    """One broadcast of one policy on one deployment.
+
+    ``latency`` is the paper's ``P(A)`` for a single-source broadcast and
+    the *makespan* (completion of the slowest message) for a multi-source
+    one; ``mean_message_latency`` aggregates the per-message latencies
+    (equal to ``latency`` when ``n_sources == 1``).  The four energy
+    columns come from :func:`repro.sim.energy.energy_of_broadcast` under
+    the default :class:`~repro.sim.energy.EnergyModel` and are present on
+    *every* record.
+    """
 
     policy: str
     system: str
@@ -87,6 +100,14 @@ class RunRecord:
     num_advances: int
     total_transmissions: int
     retransmissions: int
+    n_sources: int = 1
+    source_placement: str = "random"
+    mean_message_latency: float = 0.0
+    max_message_latency: int = 0
+    tx_energy: float = 0.0
+    rx_energy: float = 0.0
+    idle_energy: float = 0.0
+    total_energy: float = 0.0
 
 
 @dataclass
@@ -162,6 +183,14 @@ class SweepResult:
                 r.num_advances,
                 r.total_transmissions,
                 r.retransmissions,
+                r.n_sources,
+                r.source_placement,
+                f"{r.mean_message_latency:.2f}",
+                r.max_message_latency,
+                f"{r.tx_energy:.1f}",
+                f"{r.rx_energy:.1f}",
+                f"{r.idle_energy:.1f}",
+                f"{r.total_energy:.1f}",
             ]
             for r in self.records
         ]
@@ -185,6 +214,14 @@ class SweepResult:
         "num_advances",
         "total_transmissions",
         "retransmissions",
+        "n_sources",
+        "source_placement",
+        "mean_message_latency",
+        "max_message_latency",
+        "tx_energy",
+        "rx_energy",
+        "idle_energy",
+        "total_energy",
     )
 
 
@@ -209,7 +246,10 @@ def default_policies(
     On a lossy link model the planned baselines drop out: they replay a
     fixed schedule that assumes reliable delivery and live-lock once
     deliveries fail (the §VI critique), so the lossy line-up is the
-    frontier schedulers that degrade gracefully.
+    frontier schedulers that degrade gracefully.  The multi-source workload
+    (``config.n_sources > 1``) drops them for the same structural reason:
+    slot contention defers advances, which only frontier re-planners
+    tolerate.
 
     The factories are :func:`functools.partial` objects over importable
     classes, so the mapping pickles cleanly into worker processes.
@@ -234,7 +274,7 @@ def default_policies(
         }
     else:
         raise ValueError(f"unknown system {system!r}; expected 'sync' or 'duty'")
-    if config.link_model != "reliable":
+    if config.link_model != "reliable" or config.n_sources > 1:
         line_up = {
             name: factory
             for name, factory in line_up.items()
@@ -306,19 +346,46 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
         seed=derive_seed(seed, "link-loss"),
     )
     eccentricity = topology.eccentricity(source)
+    # The multi-source axis: k - 1 extra sources placed around the vetted
+    # deployment source by the configured strategy, seeded per cell (the
+    # "multi-source" split) so records stay bit-identical for any worker
+    # count and engine.  k = 1 keeps the original single-source code path.
+    n_sources = config.n_sources
+    if n_sources > 1:
+        sources = select_sources(
+            topology,
+            n_sources,
+            placement=config.source_placement,
+            seed=derive_seed(seed, "multi-source"),
+            area_side=config.area_side,
+            anchor=source,
+        )
 
     records: list[RunRecord] = []
     for name, factory in policies.items():
-        policy = factory()
-        trace = run_broadcast(
-            topology,
-            source,
-            policy,
-            schedule=schedule,
-            align_start=cell.system == "duty",
-            engine=cell.engine,
-            link_model=link_model,
-        )
+        if n_sources == 1:
+            trace = run_broadcast(
+                topology,
+                source,
+                factory(),
+                schedule=schedule,
+                align_start=cell.system == "duty",
+                engine=cell.engine,
+                link_model=link_model,
+            )
+            message_latencies: tuple[int, ...] = (trace.latency,)
+        else:
+            trace = run_broadcast(
+                topology,
+                list(sources),
+                [factory() for _ in range(n_sources)],
+                schedule=schedule,
+                align_start=cell.system == "duty",
+                engine=cell.engine,
+                link_model=link_model,
+            )
+            message_latencies = trace.per_message_latency
+        energy = energy_of_broadcast(topology, trace)
         records.append(
             RunRecord(
                 policy=name,
@@ -339,6 +406,14 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
                 num_advances=trace.num_advances,
                 total_transmissions=trace.total_transmissions,
                 retransmissions=trace.retransmissions,
+                n_sources=n_sources,
+                source_placement=config.source_placement,
+                mean_message_latency=sum(message_latencies) / len(message_latencies),
+                max_message_latency=max(message_latencies),
+                tx_energy=energy.transmission_energy,
+                rx_energy=energy.reception_energy,
+                idle_energy=energy.idle_energy,
+                total_energy=energy.total,
             )
         )
     return records

@@ -21,6 +21,7 @@ from repro.network.interference import (
     receivers_of,
 )
 from repro.network.quadrant import QUADRANTS, quadrant_index, quadrant_neighbors
+from repro.network.sources import SOURCE_PLACEMENTS, placement_names, select_sources
 from repro.network.topology import Node, WSNTopology
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "DeploymentConfig",
     "Node",
     "QUADRANTS",
+    "SOURCE_PLACEMENTS",
     "WSNTopology",
     "bitset_view",
     "boundary_nodes",
@@ -43,7 +45,9 @@ __all__ = [
     "grid_deployment",
     "has_conflict",
     "hull_nodes",
+    "placement_names",
     "quadrant_index",
     "quadrant_neighbors",
     "receivers_of",
+    "select_sources",
 ]

@@ -236,6 +236,18 @@ class BitsetTopology:
         candidates = self.adjacency[tx_idx] & ~covered_bool
         return np.nonzero(candidates)
 
+    def hears_any(self, tx_idx: np.ndarray) -> np.ndarray:
+        """Boolean vector of nodes in range of >= 1 of the rows ``tx_idx``.
+
+        The multi-frontier kernel of the vectorized multi-source engine:
+        cross-message slot contention reduces to "does an intended receiver
+        of one message hear a transmitter of another", which is one row
+        slice + OR-reduction per candidate advance.
+        """
+        if len(tx_idx) == 0:
+            return np.zeros(self.num_nodes, dtype=bool)
+        return self.adjacency[tx_idx].any(axis=0)
+
     def collision_victims_bool(
         self, tx_idx: np.ndarray, covered_bool: np.ndarray
     ) -> np.ndarray:

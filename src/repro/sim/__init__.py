@@ -12,17 +12,27 @@ from repro.sim.links import (
     build_link_model,
     link_model_names,
 )
-from repro.sim.metrics import BroadcastMetrics, improvement_percent
+from repro.sim.metrics import (
+    BroadcastMetrics,
+    MultiBroadcastMetrics,
+    improvement_percent,
+)
 from repro.sim.render import render_schedule_timeline, render_topology_ascii
 from repro.sim.replay import ReplayPolicy
-from repro.sim.trace import BroadcastResult
+from repro.sim.trace import BroadcastResult, MultiBroadcastResult
 from repro.sim.unreliable import (
     LossyRoundEngine,
     LossySlotEngine,
     reliability_sweep,
     run_lossy_broadcast,
 )
-from repro.sim.validation import ScheduleViolation, assert_valid, validate_broadcast
+from repro.sim.validation import (
+    ScheduleViolation,
+    assert_valid,
+    assert_valid_multi,
+    validate_broadcast,
+    validate_multi_broadcast,
+)
 
 __all__ = [
     "BroadcastMetrics",
@@ -37,6 +47,8 @@ __all__ = [
     "LinkModel",
     "LossyRoundEngine",
     "LossySlotEngine",
+    "MultiBroadcastMetrics",
+    "MultiBroadcastResult",
     "ReliableLinks",
     "ReplayPolicy",
     "RoundEngine",
@@ -44,6 +56,7 @@ __all__ = [
     "SimulationTimeout",
     "SlotEngine",
     "assert_valid",
+    "assert_valid_multi",
     "build_link_model",
     "energy_of_broadcast",
     "link_model_names",
@@ -54,4 +67,5 @@ __all__ = [
     "run_broadcast",
     "run_lossy_broadcast",
     "validate_broadcast",
+    "validate_multi_broadcast",
 ]

@@ -8,6 +8,15 @@ slot-based otherwise), applies the requested
 :class:`~repro.sim.links.LinkModel` (reliable by default) and returns the
 full :class:`~repro.sim.trace.BroadcastResult`.
 
+Passing a *sequence* of sources instead of a single node id selects the
+**multi-source workload**: ``k`` concurrent messages share the timeline
+(and the wake-up schedule) and contend for slots under the paper's
+interference rules — see ``_EngineBase._run_multi`` in
+:mod:`repro.sim.engine` for the contention semantics.  The result is then a
+:class:`~repro.sim.trace.MultiBroadcastResult` with one complete
+per-message trace per source; for a one-element sequence it wraps a trace
+bit-identical to the single-source call.
+
 :data:`ENGINE_BACKENDS` is the *single* registry of engine backends: the
 experiment configuration, the CLI and the lossy shims of
 :mod:`repro.sim.unreliable` all resolve engine classes through it, so a new
@@ -16,30 +25,59 @@ backend plugs in here and is immediately selectable everywhere.
 
 from __future__ import annotations
 
+import copy
+from typing import Sequence
+
 from repro.core.policies import SchedulingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.topology import WSNTopology
 from repro.sim.engine import RoundEngine, SlotEngine
 from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
 from repro.sim.links import LinkModel, ReliableLinks
-from repro.sim.trace import BroadcastResult
-from repro.sim.validation import assert_valid
+from repro.sim.trace import BroadcastResult, MultiBroadcastResult
+from repro.sim.validation import assert_valid, assert_valid_multi
 
 __all__ = ["run_broadcast", "ENGINE_BACKENDS"]
 
 #: Engine backends selectable via ``run_broadcast(..., engine=...)``:
 #: ``(round_engine_cls, slot_engine_cls)`` per backend name.  Both classes
-#: of a backend accept ``link_model=`` as their last constructor argument.
+#: of a backend accept ``link_model=`` as their last constructor argument
+#: and implement the single-source ``run`` and the multi-source
+#: ``run_multi`` entry points.
 ENGINE_BACKENDS = {
     "reference": (RoundEngine, SlotEngine),
     "vectorized": (FastRoundEngine, FastSlotEngine),
 }
 
 
+def _resolve_policies(
+    policy: SchedulingPolicy | Sequence[SchedulingPolicy],
+    num_messages: int,
+) -> list[SchedulingPolicy]:
+    """One scheduler instance per message.
+
+    A single policy instance is deep-copied for the extra messages (each
+    wavefront needs its own per-broadcast state); a sequence must provide
+    exactly one policy per source.
+    """
+    if isinstance(policy, SchedulingPolicy):
+        return [policy] + [copy.deepcopy(policy) for _ in range(num_messages - 1)]
+    policies = list(policy)
+    if len(policies) != num_messages:
+        raise ValueError(
+            f"need one policy per source: got {len(policies)} policies for "
+            f"{num_messages} sources"
+        )
+    for item in policies:
+        if not isinstance(item, SchedulingPolicy):
+            raise TypeError(f"not a SchedulingPolicy: {item!r}")
+    return policies
+
+
 def run_broadcast(
     topology: WSNTopology,
-    source: int,
-    policy: SchedulingPolicy,
+    source: int | Sequence[int],
+    policy: SchedulingPolicy | Sequence[SchedulingPolicy],
     *,
     schedule: WakeupSchedule | None = None,
     start_time: int = 1,
@@ -48,7 +86,7 @@ def run_broadcast(
     validate: bool = True,
     engine: str = "reference",
     link_model: LinkModel | None = None,
-) -> BroadcastResult:
+) -> BroadcastResult | MultiBroadcastResult:
     """Broadcast from ``source`` under ``policy`` and return the trace.
 
     Parameters
@@ -56,10 +94,19 @@ def run_broadcast(
     topology:
         The network.
     source:
-        The node that holds the message at ``start_time``.
+        The node that holds the message at ``start_time`` — or a sequence
+        of ``k`` distinct nodes for the multi-source workload, in which
+        case ``k`` concurrent messages spread on one shared timeline and
+        the return value is a :class:`MultiBroadcastResult`.
     policy:
         Any scheduling policy (the paper's OPT / G-OPT / E-model, a baseline,
         or a user-supplied implementation of :class:`SchedulingPolicy`).
+        Multi-source runs need one scheduler *instance* per message: pass a
+        sequence of ``k`` policies, or a single instance to have it
+        deep-copied per message.  With ``k > 1`` every policy must be
+        frontier-driven in the :attr:`SchedulingPolicy.loss_tolerant` sense
+        (contended advances are deferred and re-planned; planned baselines
+        replaying a fixed schedule are rejected loudly).
     schedule:
         A wake-up schedule selects the asynchronous duty-cycle system;
         ``None`` selects the round-based synchronous system.
@@ -68,20 +115,25 @@ def run_broadcast(
     align_start:
         Duty-cycle only: move ``t_s`` to the source's first wake-up slot at
         or after ``start_time`` (the paper's examples assume ``t_s ∈ T(s)``).
+        For multi-source runs the shared start moves to the *earliest*
+        wake-up slot of any source.
     max_time:
         Optional cap on simulated rounds/slots (defaults to a generous bound
         derived from the baselines' worst case, stretched by the link
-        model's expected retransmission factor).
+        model's expected retransmission factor — and, multi-source, by the
+        message count).
     validate:
         Re-validate the produced trace against the network model before
         returning (cheap; disable only in tight benchmarking loops).  Lossy
-        traces are validated against the *delivered* receivers.
+        traces are validated against the *delivered* receivers; multi-source
+        traces are validated per message plus the cross-message contention
+        rules.
     engine:
         ``"reference"`` (the frozenset/bigint engines, the correctness
         oracle) or ``"vectorized"`` (the numpy bitset backend of
         :mod:`repro.sim.fast_engine`).  Both produce bit-identical traces
-        for any link model; the vectorized backend is the fast path for
-        large sweeps.
+        for any link model and any number of sources; the vectorized
+        backend is the fast path for large sweeps.
     link_model:
         Delivery semantics: ``None`` / :class:`~repro.sim.links.ReliableLinks`
         for the paper's model, or
@@ -92,9 +144,10 @@ def run_broadcast(
 
     Returns
     -------
-    BroadcastResult
+    BroadcastResult | MultiBroadcastResult
         The complete trace; ``result.latency`` is the paper's ``P(A)`` for
-        ``start_time=1``.
+        ``start_time=1`` (for multi-source runs: the makespan of the
+        slowest message).
     """
     try:
         round_engine_cls, slot_engine_cls = ENGINE_BACKENDS[engine]
@@ -104,6 +157,62 @@ def run_broadcast(
             f"{sorted(ENGINE_BACKENDS)}"
         ) from None
     link = ReliableLinks() if link_model is None else link_model
+
+    if isinstance(source, (str, bytes)):
+        # A stray string would iterate char-by-char into the multi-source
+        # path; fail as loudly as an unknown node id always has.
+        raise TypeError(
+            f"source must be a node id or a sequence of node ids, got {source!r}"
+        )
+    if not isinstance(source, (int,)) and not hasattr(source, "__index__"):
+        sources = tuple(int(s) for s in source)
+        policies = _resolve_policies(policy, len(sources))
+        for item in policies:
+            if not link.lossless and not getattr(item, "loss_tolerant", True):
+                raise ValueError(
+                    f"policy {item.name!r} replays a fixed plan that assumes "
+                    "reliable delivery and cannot run over lossy links; use a "
+                    "frontier scheduler (OPT, G-OPT, E-model, largest-first) "
+                    "for the loss axis"
+                )
+            if len(sources) > 1 and not getattr(item, "loss_tolerant", True):
+                raise ValueError(
+                    f"policy {item.name!r} replays a fixed plan and cannot "
+                    "share the timeline with concurrent messages: multi-source "
+                    "slot contention defers advances, which requires frontier "
+                    "re-planning (OPT, G-OPT, E-model, largest-first)"
+                )
+        for item, src in zip(policies, sources):
+            item.prepare(topology, schedule, src)
+        if schedule is None:
+            round_engine = round_engine_cls(topology, link_model=link)
+            multi = round_engine.run_multi(
+                policies, sources, start_time=start_time, max_rounds=max_time
+            )
+        else:
+            slot_engine = slot_engine_cls(topology, schedule, link_model=link)
+            multi = slot_engine.run_multi(
+                policies,
+                sources,
+                start_time=start_time,
+                align_start=align_start,
+                max_slots=max_time,
+            )
+        if validate:
+            assert_valid_multi(
+                topology,
+                multi,
+                schedule=schedule,
+                backend=engine,
+                lossy=not link.lossless,
+            )
+        return multi
+
+    if not isinstance(policy, SchedulingPolicy):
+        raise TypeError(
+            "a single-source broadcast takes a single SchedulingPolicy; pass "
+            "a sequence of sources for the multi-source workload"
+        )
     if not link.lossless and not getattr(policy, "loss_tolerant", True):
         raise ValueError(
             f"policy {policy.name!r} replays a fixed plan that assumes reliable "

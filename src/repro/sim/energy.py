@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.network.topology import WSNTopology
-from repro.sim.trace import BroadcastResult
+from repro.sim.trace import BroadcastResult, MultiBroadcastResult
 from repro.utils.validation import check_non_negative
 
 __all__ = ["EnergyModel", "EnergyReport", "energy_of_broadcast"]
@@ -89,7 +89,7 @@ class EnergyReport:
 
 def energy_of_broadcast(
     topology: WSNTopology,
-    result: BroadcastResult,
+    result: BroadcastResult | MultiBroadcastResult,
     model: EnergyModel | None = None,
 ) -> EnergyReport:
     """Account the energy of ``result`` on ``topology`` under ``model``.
@@ -99,6 +99,11 @@ def energy_of_broadcast(
     waiting for the message (the paper's receiving channel is always on).
     Idle listening is charged per node per round/slot of the broadcast
     window in which the node did not receive anything.
+
+    A :class:`~repro.sim.trace.MultiBroadcastResult` is accounted over its
+    merged advance stream with the *makespan* as the broadcast window, so
+    ``k`` concurrent messages share one window instead of paying ``k``
+    idle-listening windows — the whole point of batching wavefronts.
     """
     model = model or EnergyModel()
     per_node = {u: 0.0 for u in topology.node_ids}

@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import weakref
 from bisect import bisect_left
+from typing import Sequence
 
 import numpy as np
 
@@ -45,9 +46,9 @@ from repro.core.policies import SchedulingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.bitset import BitsetTopology, bitset_view
 from repro.network.topology import WSNTopology
-from repro.sim.engine import SimulationTimeout
+from repro.sim.engine import SimulationTimeout, check_multi_inputs
 from repro.sim.links import LinkModel, ReliableLinks
-from repro.sim.trace import BroadcastResult
+from repro.sim.trace import BroadcastResult, MultiBroadcastResult
 from repro.utils.validation import require
 
 __all__ = ["FastRoundEngine", "FastSlotEngine"]
@@ -356,6 +357,171 @@ class _FastEngineBase:
             cycle_rate=1 if schedule is None else schedule.rate,
         )
 
+    def _check_multi_inputs(
+        self, policies: Sequence[SchedulingPolicy], sources: Sequence[int]
+    ) -> None:
+        check_multi_inputs(self.topology, policies, sources)
+
+    def _run_multi(
+        self,
+        policies: Sequence[SchedulingPolicy],
+        sources: Sequence[int],
+        start_time: int,
+        limit: int,
+        schedule: WakeupSchedule | None,
+    ) -> MultiBroadcastResult:
+        """Vectorized twin of :meth:`repro.sim.engine._EngineBase._run_multi`.
+
+        Same rotating priority order, same deferral predicate (evaluated on
+        boolean vectors instead of bigint masks), same link-RNG consumption
+        order — the traces are bit-identical to the reference kernel.  When
+        every policy is frontier-driven, the duty-cycle path additionally
+        skips slots in which no message has an awake frontier node (the
+        union multi-frontier scan), which is trace-preserving because every
+        policy promises ``None`` with no state change on such slots.
+
+        Inputs were validated by the public ``run_multi`` entry point
+        (which needs them checked before its default-limit computation).
+        """
+        require(start_time >= 1, "start_time is 1-based")
+        view = self._view
+        num_nodes = view.num_nodes
+        k = len(sources)
+        link = self.link_model
+        link_state = None if link.lossless else link.make_state()
+        check_conflicts = [
+            getattr(policy, "interference_free", True) for policy in policies
+        ]
+        skip_idle = schedule is not None and all(
+            getattr(policy, "frontier_driven", False) for policy in policies
+        )
+        window = None if schedule is None else _window_for(schedule, view)
+
+        covered: list[frozenset[int]] = [frozenset({s}) for s in sources]
+        covered_bool = np.zeros((k, num_nodes), dtype=bool)
+        covered_count = [1] * k
+        uncovered_degree = np.empty((k, num_nodes), dtype=np.int64)
+        for m, source in enumerate(sources):
+            row = view.index_of(source)
+            covered_bool[m, row] = True
+            uncovered_degree[m] = view.degrees.astype(np.int64) - view.hear_counts(
+                np.asarray([row], dtype=np.int64)
+            )
+        frontier_idx: np.ndarray | None = None
+        scan: _FrontierScan | None = None
+
+        advances: list[list[Advance]] = [[] for _ in range(k)]
+        end_times = [start_time - 1] * k
+        time = start_time
+
+        while any(count != num_nodes for count in covered_count):
+            if skip_idle and time <= limit:
+                assert window is not None
+                if frontier_idx is None:
+                    # Union multi-frontier: covered nodes of *some* message
+                    # that still have uncovered neighbours for that message.
+                    frontier_idx = np.flatnonzero(
+                        (covered_bool & (uncovered_degree > 0)).any(axis=0)
+                    )
+                    scan = None
+                if not window.active_rows(frontier_idx, time).any():
+                    if scan is None:
+                        scan = _FrontierScan(window, frontier_idx, time)
+                    next_slot = scan.next_active(time, limit)
+                    time = limit + 1 if next_slot is None else next_slot
+            if time > limit:
+                pending = sum(1 for count in covered_count if count != num_nodes)
+                raise SimulationTimeout(
+                    f"multi-source broadcast did not complete by time {limit} "
+                    f"({pending}/{k} messages still spreading); the policies, "
+                    "the wake-up schedule or the slot contention is not making "
+                    "progress"
+                )
+            busy = np.zeros(num_nodes, dtype=bool)
+            heard = np.zeros(num_nodes, dtype=bool)
+            rx = np.zeros(num_nodes, dtype=bool)
+            offset = (time - start_time) % k
+            for m in ((offset + j) % k for j in range(k)):
+                if covered_count[m] == num_nodes:
+                    continue
+                policy = policies[m]
+                state = BroadcastState.for_engine(
+                    self.topology, covered[m], time, schedule
+                )
+                advance = policy.select_advance(state)
+                if advance is None:
+                    continue
+                tx_idx, receivers_bool, receivers_idx = self._check_advance(
+                    advance,
+                    covered[m],
+                    covered_bool[m],
+                    time,
+                    window,
+                    check_conflicts=check_conflicts[m],
+                )
+                cand_heard = view.hears_any(tx_idx)
+                if (
+                    busy[tx_idx].any()
+                    or (receivers_bool & (busy | heard)).any()
+                    or (rx & cand_heard).any()
+                ):
+                    # Cross-message contention: defer this message; its
+                    # frontier is unchanged, so the policy re-plans later.
+                    continue
+                if link.lossless:
+                    recorded = advance
+                    delivered = advance.receivers
+                    delivered_bool = receivers_bool
+                    delivered_idx = receivers_idx
+                else:
+                    delivered_bool = link.deliver_bool(
+                        link_state, view, tx_idx, receivers_bool, covered_bool[m]
+                    )
+                    delivered = view.nodes_from_bool(delivered_bool)
+                    delivered_idx = np.flatnonzero(delivered_bool)
+                    recorded = dataclasses.replace(
+                        advance,
+                        receivers=delivered,
+                        intended_receivers=advance.receivers,
+                    )
+                if delivered:
+                    covered[m] = covered[m] | delivered
+                    covered_bool[m] |= delivered_bool
+                    covered_count[m] += len(delivered)
+                    if skip_idle:
+                        uncovered_degree[m] -= view.adjacency_u8[
+                            :, delivered_idx
+                        ].sum(axis=1, dtype=np.int64)
+                        frontier_idx = None
+                    end_times[m] = time
+                advances[m].append(recorded)
+                busy[tx_idx] = True
+                busy |= receivers_bool
+                heard |= cand_heard
+                rx |= receivers_bool
+            time += 1
+
+        messages = tuple(
+            BroadcastResult(
+                policy_name=policies[i].name,
+                source=sources[i],
+                start_time=start_time,
+                end_time=max(end_times[i], start_time - 1),
+                covered=covered[i],
+                advances=tuple(advances[i]),
+                synchronous=schedule is None,
+                cycle_rate=1 if schedule is None else schedule.rate,
+            )
+            for i in range(k)
+        )
+        return MultiBroadcastResult(
+            sources=tuple(int(s) for s in sources),
+            start_time=start_time,
+            messages=messages,
+            synchronous=schedule is None,
+            cycle_rate=1 if schedule is None else schedule.rate,
+        )
+
 
 class FastRoundEngine(_FastEngineBase):
     """Vectorized round-based engine (parity twin of ``RoundEngine``)."""
@@ -371,13 +537,33 @@ class FastRoundEngine(_FastEngineBase):
         """Simulate a broadcast; see :meth:`repro.sim.engine.RoundEngine.run`."""
         require(source in self.topology, f"unknown source node {source}")
         if max_rounds is None:
-            depth = max(self._view.eccentricity(source), 1)
-            max_rounds = int(
-                (depth * max(self._view.max_degree(), 1) + depth + 8)
-                * self.link_model.limit_stretch
-            )
+            max_rounds = self._default_max_rounds(source)
         limit = start_time + max_rounds
         return self._run(policy, source, start_time, limit, schedule=None)
+
+    def _default_max_rounds(self, source: int) -> int:
+        depth = max(self._view.eccentricity(source), 1)
+        return int(
+            (depth * max(self._view.max_degree(), 1) + depth + 8)
+            * self.link_model.limit_stretch
+        )
+
+    def run_multi(
+        self,
+        policies: Sequence[SchedulingPolicy],
+        sources: Sequence[int],
+        *,
+        start_time: int = 1,
+        max_rounds: int | None = None,
+    ) -> MultiBroadcastResult:
+        """Multi-source twin; see :meth:`repro.sim.engine.RoundEngine.run_multi`."""
+        self._check_multi_inputs(policies, sources)
+        if max_rounds is None:
+            max_rounds = max(
+                self._default_max_rounds(source) for source in sources
+            ) * max(len(sources), 1)
+        limit = start_time + max_rounds
+        return self._run_multi(policies, sources, start_time, limit, schedule=None)
 
 
 class FastSlotEngine(_FastEngineBase):
@@ -414,15 +600,43 @@ class FastSlotEngine(_FastEngineBase):
         if align_start:
             start_time = self.schedule.next_active_slot(source, start_time)
         if max_slots is None:
-            depth = max(self._view.eccentricity(source), 1)
-            # max_rate mirrors SlotEngine.run so both backends cap at the
-            # same slot even under heterogeneous duty cycling.
-            worst_per_layer = 2 * self.schedule.max_rate * (
-                max(self._view.max_degree(), 1) + 2
-            )
-            max_slots = int(
-                (depth * worst_per_layer + 4 * self.schedule.max_rate)
-                * self.link_model.limit_stretch
-            )
+            max_slots = self._default_max_slots(source)
         limit = start_time + max_slots
         return self._run(policy, source, start_time, limit, schedule=self.schedule)
+
+    def _default_max_slots(self, source: int) -> int:
+        depth = max(self._view.eccentricity(source), 1)
+        # max_rate mirrors SlotEngine.run so both backends cap at the
+        # same slot even under heterogeneous duty cycling.
+        worst_per_layer = 2 * self.schedule.max_rate * (
+            max(self._view.max_degree(), 1) + 2
+        )
+        return int(
+            (depth * worst_per_layer + 4 * self.schedule.max_rate)
+            * self.link_model.limit_stretch
+        )
+
+    def run_multi(
+        self,
+        policies: Sequence[SchedulingPolicy],
+        sources: Sequence[int],
+        *,
+        start_time: int = 1,
+        align_start: bool = False,
+        max_slots: int | None = None,
+    ) -> MultiBroadcastResult:
+        """Multi-source twin; see :meth:`repro.sim.engine.SlotEngine.run_multi`."""
+        self._check_multi_inputs(policies, sources)
+        if align_start:
+            start_time = min(
+                self.schedule.next_active_slot(source, start_time)
+                for source in sources
+            )
+        if max_slots is None:
+            max_slots = max(
+                self._default_max_slots(source) for source in sources
+            ) * max(len(sources), 1)
+        limit = start_time + max_slots
+        return self._run_multi(
+            policies, sources, start_time, limit, schedule=self.schedule
+        )

@@ -15,9 +15,14 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.network.topology import WSNTopology
-from repro.sim.trace import BroadcastResult
+from repro.sim.trace import BroadcastResult, MultiBroadcastResult
 
-__all__ = ["BroadcastMetrics", "improvement_percent", "aggregate_latency"]
+__all__ = [
+    "BroadcastMetrics",
+    "MultiBroadcastMetrics",
+    "improvement_percent",
+    "aggregate_latency",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +85,57 @@ class BroadcastMetrics:
             ),
             eccentricity=eccentricity,
             stretch=latency / eccentricity if eccentricity else math.inf,
+        )
+
+
+@dataclass(frozen=True)
+class MultiBroadcastMetrics:
+    """Per-message aggregation of one multi-source broadcast.
+
+    Attributes
+    ----------
+    num_messages:
+        The number of concurrent messages ``k``.
+    makespan:
+        Elapsed rounds/slots until *every* message completed (the
+        workload-level ``P(A)``).
+    mean_message_latency, min_message_latency, max_message_latency:
+        Aggregates of the per-message latencies on the shared timeline
+        (``max`` coincides with the makespan).
+    total_transmissions, total_advances:
+        Transmission work summed over all messages.
+    per_message:
+        The full :class:`BroadcastMetrics` of each message, in source order.
+    """
+
+    num_messages: int
+    makespan: int
+    mean_message_latency: float
+    min_message_latency: int
+    max_message_latency: int
+    total_transmissions: int
+    total_advances: int
+    per_message: tuple[BroadcastMetrics, ...]
+
+    @classmethod
+    def from_result(
+        cls, topology: WSNTopology, result: MultiBroadcastResult
+    ) -> "MultiBroadcastMetrics":
+        """Compute the per-message aggregation of ``result`` on ``topology``."""
+        per_message = tuple(
+            BroadcastMetrics.from_result(topology, message)
+            for message in result.messages
+        )
+        latencies = result.per_message_latency
+        return cls(
+            num_messages=result.num_messages,
+            makespan=result.latency,
+            mean_message_latency=sum(latencies) / len(latencies),
+            min_message_latency=min(latencies),
+            max_message_latency=max(latencies),
+            total_transmissions=result.total_transmissions,
+            total_advances=result.num_advances,
+            per_message=per_message,
         )
 
 

@@ -27,15 +27,24 @@ only the receiver-equality of check 4 relaxes to subset-plus-intent.
 
 from __future__ import annotations
 
+from collections import defaultdict
+from itertools import combinations
+
 import numpy as np
 
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.bitset import bitset_view
 from repro.network.interference import conflicting_pairs, receivers_of
 from repro.network.topology import WSNTopology
-from repro.sim.trace import BroadcastResult
+from repro.sim.trace import BroadcastResult, MultiBroadcastResult
 
-__all__ = ["ScheduleViolation", "validate_broadcast", "assert_valid"]
+__all__ = [
+    "ScheduleViolation",
+    "validate_broadcast",
+    "assert_valid",
+    "validate_multi_broadcast",
+    "assert_valid_multi",
+]
 
 
 class ScheduleViolation(AssertionError):
@@ -309,6 +318,115 @@ def _validate_vectorized(
     if require_complete and not covered_final.all():
         return fail()
     return []
+
+
+def validate_multi_broadcast(
+    topology: WSNTopology,
+    result: MultiBroadcastResult,
+    *,
+    schedule: WakeupSchedule | None = None,
+    require_complete: bool = True,
+    backend: str = "reference",
+    lossy: bool = False,
+) -> list[str]:
+    """Validate a multi-source trace (empty list when valid).
+
+    Two layers of checks:
+
+    1. **Per-message validity** — every message's :class:`BroadcastResult`
+       must be a valid single-source trace on its own (same checks as
+       :func:`validate_broadcast`, on the requested ``backend``): the
+       contention kernel defers advances but never bends the paper's
+       network model for an individual wavefront.
+    2. **Cross-message contention rules** — for every round/slot shared by
+       two messages: no node serves two messages at once (transmitter or
+       intended receiver), and no intended receiver of one message is in
+       range of another message's transmitter (the collision would destroy
+       the delivery).  These are evaluated on the *intended* receivers, so
+       they hold for lossy traces too.
+    """
+    violations: list[str] = []
+    seen_sources: set[int] = set()
+    for index, message in enumerate(result.messages):
+        if message.source != result.sources[index]:
+            violations.append(
+                f"message {index}: trace source {message.source} does not match "
+                f"result.sources[{index}] = {result.sources[index]}"
+            )
+        if message.source in seen_sources:
+            violations.append(f"message {index}: duplicate source {message.source}")
+        seen_sources.add(message.source)
+        if message.start_time != result.start_time:
+            violations.append(
+                f"message {index}: start_time {message.start_time} differs from "
+                f"the shared timeline start {result.start_time}"
+            )
+        for violation in validate_broadcast(
+            topology,
+            message,
+            schedule=schedule,
+            require_complete=require_complete,
+            backend=backend,
+            lossy=lossy,
+        ):
+            violations.append(f"message {index} (source {message.source}): {violation}")
+
+    # Cross-message checks per shared round/slot, on the intended receivers.
+    by_time: dict[int, list[tuple[int, frozenset[int], frozenset[int]]]] = defaultdict(list)
+    for index, message in enumerate(result.messages):
+        for advance in message.advances:
+            by_time[advance.time].append((index, advance.color, advance.intended))
+    for time in sorted(by_time):
+        entries = by_time[time]
+        if len(entries) < 2:
+            continue
+        for (i, color_i, recv_i), (j, color_j, recv_j) in combinations(entries, 2):
+            overlap = (color_i | recv_i) & (color_j | recv_j)
+            if overlap:
+                violations.append(
+                    f"t={time}: nodes {sorted(overlap)} serve messages {i} and "
+                    f"{j} simultaneously"
+                )
+            mask_i = topology.mask_from_nodes(color_i)
+            mask_j = topology.mask_from_nodes(color_j)
+            jammed = {
+                r for r in recv_i if topology.neighbor_mask(r) & mask_j
+            } | {
+                r for r in recv_j if topology.neighbor_mask(r) & mask_i
+            }
+            if jammed:
+                violations.append(
+                    f"t={time}: receivers {sorted(jammed)} of messages {i}/{j} "
+                    "are in range of the other message's transmitters "
+                    "(cross-message collision)"
+                )
+    return violations
+
+
+def assert_valid_multi(
+    topology: WSNTopology,
+    result: MultiBroadcastResult,
+    *,
+    schedule: WakeupSchedule | None = None,
+    require_complete: bool = True,
+    backend: str = "reference",
+    lossy: bool = False,
+) -> None:
+    """Raise :class:`ScheduleViolation` when a multi-source trace is invalid."""
+    violations = validate_multi_broadcast(
+        topology,
+        result,
+        schedule=schedule,
+        require_complete=require_complete,
+        backend=backend,
+        lossy=lossy,
+    )
+    if violations:
+        details = "\n  - ".join(violations)
+        raise ScheduleViolation(
+            f"multi-source broadcast trace ({result.num_messages} messages) "
+            f"violates the network model:\n  - {details}"
+        )
 
 
 def assert_valid(

@@ -35,7 +35,8 @@ def test_doc_files_exist():
     assert (REPO_ROOT / "docs").is_dir()
     names = {p.name for p in DOC_FILES}
     assert {"README.md", "index.md", "architecture.md", "scenarios.md",
-            "reliability.md", "reproduction.md"} <= names
+            "reliability.md", "reproduction.md", "workloads.md",
+            "api.md"} <= names
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
@@ -77,10 +78,22 @@ def test_reproduction_guide_maps_all_paper_figures():
 
 
 def test_mkdocs_nav_matches_doc_files():
+    """Every docs page is reachable from the nav (mkdocs --strict cares)."""
     config = (REPO_ROOT / "mkdocs.yml").read_text()
-    for page in ("index.md", "architecture.md", "scenarios.md", "reliability.md",
-                 "reproduction.md"):
-        assert page in config
+    for page in sorted(p.name for p in (REPO_ROOT / "docs").glob("*.md")):
+        assert page in config, f"{page} missing from mkdocs.yml nav"
+
+
+def test_docs_never_link_outside_docs_dir():
+    """mkdocs --strict rejects relative links leaving docs/; catch it here."""
+    offenders = []
+    for path in DOC_FILES:
+        if path.name == "README.md":
+            continue  # the README lives at the repo root, not in the site
+        for target in _relative_links(path):
+            if target.startswith(".."):
+                offenders.append(f"{path.name}: {target}")
+    assert not offenders, f"links escaping docs/: {offenders}"
 
 
 def test_reliability_guide_covers_link_models():
@@ -98,3 +111,38 @@ def test_architecture_guide_describes_link_model_split():
     guide = (REPO_ROOT / "docs" / "architecture.md").read_text()
     assert "LinkModel" in guide
     assert "reliability.md" in guide
+
+
+def test_workload_catalog_covers_every_workload():
+    """The catalog names each workload, its CLI target and the placements."""
+    from repro.network.sources import placement_names
+
+    catalog = (REPO_ROOT / "docs" / "workloads.md").read_text()
+    # One section per workload, each with its runnable CLI target.
+    for needle in ("Single-source", "Lossy", "Multi-source"):
+        assert needle in catalog, f"workload {needle!r} missing from the catalog"
+    for target in ("sweep", "scenarios", "reliability", "multisource"):
+        assert target in catalog, f"CLI target {target!r} missing from the catalog"
+    # Catalog-sync: every registered placement strategy is documented.
+    missing = [name for name in placement_names() if f"`{name}`" not in catalog]
+    assert not missing, f"placements missing from docs/workloads.md: {missing}"
+    # The per-message determinism contract is the load-bearing bit.
+    assert "determinism contract" in catalog
+    assert "multi-source" in catalog
+    assert "--sources" in catalog and "--source-placement" in catalog
+
+
+def test_reproduction_guide_documents_energy_model():
+    """Cost defaults, radio ratios and the sweep energy columns are mapped."""
+    guide = (REPO_ROOT / "docs" / "reproduction.md").read_text()
+    assert "Energy accounting" in guide
+    for column in ("tx_energy", "rx_energy", "idle_energy", "total_energy"):
+        assert column in guide, f"energy column {column!r} undocumented"
+    assert "CC1000" in guide and "CC2420" in guide
+    assert "EnergyModel" in guide and "energy_of_broadcast" in guide
+
+
+def test_reliability_guide_cross_links_energy_model():
+    guide = (REPO_ROOT / "docs" / "reliability.md").read_text()
+    assert "reproduction.md#energy-accounting" in guide
+    assert "workloads.md" in guide

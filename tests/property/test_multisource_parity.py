@@ -1,0 +1,247 @@
+"""Cross-cutting guarantees of the multi-source broadcast subsystem.
+
+The tentpole invariants of the multi-source workload:
+
+* **engine parity** — ``run_broadcast(sources, ...)`` produces *bit-identical*
+  :class:`~repro.sim.trace.MultiBroadcastResult` traces on the reference and
+  the vectorized backend, across deployment scenarios, duty models, message
+  counts ``k ∈ {1, 2, 4}`` and every registered link model;
+* **single-source identity** — a one-element source list wraps a per-message
+  trace *equal* to the plain single-source ``run_broadcast`` call, reliable
+  and lossy alike;
+* **worker invariance** — multi-source sweep records are bit-identical for
+  any worker count (the per-cell ``"multi-source"`` placement split removes
+  any dependence on execution order) and for either engine;
+* **validator agreement** — both validator backends accept every
+  multi-source trace, per message and across messages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import EModelPolicy
+from repro.core.time_counter import SearchConfig
+from repro.dutycycle.models import build_wakeup_schedule
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import run_sweep
+from repro.network.deployment import DeploymentConfig
+from repro.network.sources import select_sources
+from repro.scenarios import generate_scenario
+from repro.sim.broadcast import run_broadcast
+from repro.sim.links import IndependentLossLinks, ReliableLinks
+from repro.sim.validation import validate_multi_broadcast
+from repro.utils.rng import derive_seed
+
+PARITY_SCENARIOS = ("uniform", "clustered", "ring")
+DUTY_MODELS = ("uniform", "two-tier")
+SOURCE_COUNTS = (1, 2, 4)
+LINK_MODELS = ("reliable", "independent-loss")
+
+_DEPLOYMENT = DeploymentConfig(
+    num_nodes=30,
+    area_side=22.0,
+    radius=7.0,
+    source_min_ecc=2,
+    source_max_ecc=None,
+)
+
+
+def _deployment(scenario: str, seed: int):
+    deployment = generate_scenario(scenario, _DEPLOYMENT, seed=seed)
+    return deployment.topology, deployment.source
+
+
+def _schedule(topology, duty_model: str, seed: int):
+    return build_wakeup_schedule(
+        topology.node_ids,
+        rate=6,
+        seed=derive_seed(seed, "wakeup-schedule"),
+        model=duty_model,
+        model_seed=derive_seed(seed, "duty-model"),
+    )
+
+
+def _link(name: str):
+    return (
+        ReliableLinks()
+        if name == "reliable"
+        else IndependentLossLinks(0.25, seed=2012)
+    )
+
+
+@pytest.mark.parametrize("k", SOURCE_COUNTS)
+@pytest.mark.parametrize("duty_model", DUTY_MODELS)
+@pytest.mark.parametrize("scenario", PARITY_SCENARIOS)
+def test_multisource_duty_traces_identical_across_backends(scenario, duty_model, k):
+    """reference ≡ vectorized for every (scenario, duty model, k) duty cell."""
+    topology, anchor = _deployment(scenario, seed=211)
+    schedule = _schedule(topology, duty_model, seed=211)
+    sources = select_sources(topology, k, placement="spread", seed=3, anchor=anchor)
+    traces = {}
+    for engine in ("reference", "vectorized"):
+        traces[engine] = run_broadcast(
+            topology,
+            list(sources),
+            EModelPolicy(),
+            schedule=schedule,
+            align_start=True,
+            engine=engine,
+        )
+    assert traces["reference"] == traces["vectorized"]
+    assert traces["reference"].is_complete(topology)
+    assert traces["reference"].num_messages == k
+
+
+@pytest.mark.parametrize("link_model", LINK_MODELS)
+@pytest.mark.parametrize("k", SOURCE_COUNTS)
+@pytest.mark.parametrize("scenario", PARITY_SCENARIOS)
+def test_multisource_sync_traces_identical_across_backends(scenario, k, link_model):
+    """reference ≡ vectorized on the round-based system, all link models."""
+    topology, anchor = _deployment(scenario, seed=87)
+    sources = select_sources(topology, k, placement="random", seed=9, anchor=anchor)
+    traces = {}
+    for engine in ("reference", "vectorized"):
+        traces[engine] = run_broadcast(
+            topology,
+            list(sources),
+            EModelPolicy(),
+            engine=engine,
+            link_model=_link(link_model),
+        )
+    assert traces["reference"] == traces["vectorized"]
+    assert traces["reference"].is_complete(topology)
+
+
+@pytest.mark.parametrize("link_model", LINK_MODELS)
+@pytest.mark.parametrize("duty_model", DUTY_MODELS)
+def test_multisource_lossy_duty_parity(duty_model, link_model):
+    """The loss axis composes with multi-source on the duty-cycle system."""
+    topology, anchor = _deployment("clustered", seed=51)
+    schedule = _schedule(topology, duty_model, seed=51)
+    sources = select_sources(topology, 3, placement="spread", seed=4, anchor=anchor)
+    traces = {}
+    for engine in ("reference", "vectorized"):
+        traces[engine] = run_broadcast(
+            topology,
+            list(sources),
+            EModelPolicy(),
+            schedule=schedule,
+            align_start=True,
+            engine=engine,
+            link_model=_link(link_model),
+        )
+    assert traces["reference"] == traces["vectorized"]
+
+
+@pytest.mark.parametrize("link_model", LINK_MODELS)
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_single_element_sources_reproduce_single_source_traces(engine, link_model):
+    """``sources=[s]`` wraps a trace equal to the plain single-source run."""
+    topology, source = _deployment("uniform", seed=33)
+    schedule = _schedule(topology, "uniform", seed=33)
+    multi = run_broadcast(
+        topology,
+        [source],
+        EModelPolicy(),
+        schedule=schedule,
+        align_start=True,
+        engine=engine,
+        link_model=_link(link_model),
+    )
+    single = run_broadcast(
+        topology,
+        source,
+        EModelPolicy(),
+        schedule=schedule,
+        align_start=True,
+        engine=engine,
+        link_model=_link(link_model),
+    )
+    assert multi.num_messages == 1
+    assert multi.messages[0] == single
+    assert multi.latency == single.latency
+
+
+@pytest.mark.parametrize("scenario", ("uniform", "ring"))
+def test_multisource_trace_validates_on_both_backends(scenario):
+    """Per-message and cross-message checks pass on both validator backends."""
+    topology, anchor = _deployment(scenario, seed=19)
+    schedule = _schedule(topology, "two-tier", seed=19)
+    sources = select_sources(topology, 4, placement="corner", seed=1,
+                             area_side=22.0, anchor=anchor)
+    trace = run_broadcast(
+        topology,
+        list(sources),
+        EModelPolicy(),
+        schedule=schedule,
+        align_start=True,
+        validate=False,
+    )
+    for backend in ("reference", "vectorized"):
+        assert validate_multi_broadcast(
+            topology, trace, schedule=schedule, backend=backend
+        ) == []
+
+
+def _multi_config(**overrides) -> SweepConfig:
+    base = dict(
+        node_counts=(24, 30),
+        repetitions=2,
+        search=SearchConfig(mode="beam", beam_width=2),
+        max_color_classes=4,
+        source_min_ecc=2,
+        source_max_ecc=None,
+        area_side=22.0,
+        radius=7.0,
+        n_sources=3,
+        source_placement="spread",
+    )
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+def test_multisource_sweep_records_are_worker_invariant():
+    """Multi-source sweep records are bit-identical for any worker count."""
+    config = _multi_config()
+    serial = run_sweep(config, system="sync", workers=1)
+    parallel = run_sweep(config, system="sync", workers=2)
+    assert serial.records == parallel.records
+    assert all(r.n_sources == 3 for r in serial.records)
+    assert all(r.source_placement == "spread" for r in serial.records)
+
+
+def test_multisource_sweep_records_are_engine_invariant():
+    """The multi-source axis composes with the engine axis: records match."""
+    config = _multi_config(source_placement="random")
+    reference = run_sweep(config, system="duty", rate=6, engine="reference")
+    vectorized = run_sweep(config, system="duty", rate=6, engine="vectorized")
+    assert reference.records == vectorized.records
+
+
+def test_multisource_sweep_composes_with_loss_scenario_and_duty_model():
+    """sources x loss x scenario x duty-model x engine x workers is one grid."""
+    config = dataclasses.replace(
+        _multi_config(),
+        scenario="clustered",
+        duty_model="two-tier",
+        link_model="independent-loss",
+        loss_probability=0.2,
+    )
+    serial = run_sweep(config, system="duty", rate=6, engine="reference", workers=1)
+    parallel = run_sweep(config, system="duty", rate=6, engine="vectorized", workers=2)
+    assert serial.records == parallel.records
+    assert serial.records, "the composed sweep produced no records"
+    assert {r.n_sources for r in serial.records} == {3}
+    assert {r.link_model for r in serial.records} == {"independent-loss"}
+
+
+def test_k1_sweep_records_match_plain_sweep():
+    """``n_sources=1`` keeps every record identical to a plain sweep."""
+    plain = _multi_config(n_sources=1)
+    multi_aware = plain.with_sources(1)
+    assert run_sweep(plain, system="sync").records == run_sweep(
+        multi_aware, system="sync"
+    ).records

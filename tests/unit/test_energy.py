@@ -5,6 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.core.policies import EModelPolicy, GreedyOptPolicy
+from repro.core.time_counter import SearchConfig
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import run_sweep
+from repro.network.topology import WSNTopology
 from repro.sim.broadcast import run_broadcast
 from repro.sim.energy import EnergyModel, energy_of_broadcast
 
@@ -85,3 +89,107 @@ class TestEnergyOfBroadcast:
         result = run_broadcast(topo, source, GreedyOptPolicy())
         report = energy_of_broadcast(topo, result)
         assert report.energy_per_node() == pytest.approx(report.total / topo.num_nodes)
+
+    def test_overhearing_charges_covered_neighbours(self):
+        """Every neighbour of a transmitter pays rx, covered or not."""
+        positions = {i: (float(i), 0.0) for i in range(3)}
+        topo = WSNTopology.from_edges([(0, 1), (1, 2)], positions)
+        result = run_broadcast(topo, 0, EModelPolicy())
+        model = EnergyModel(tx_cost=0.0, rx_cost=5.0, idle_cost=0.0)
+        report = energy_of_broadcast(topo, result, model)
+        # Advances: {0}->{1}, then {1}->{2}; when 1 relays, the already
+        # covered source 0 overhears and is charged one reception.
+        assert report.receptions == 3
+        assert report.per_node[0] == pytest.approx(5.0)  # pure overhearing
+        assert report.per_node[1] == pytest.approx(5.0)
+        assert report.per_node[2] == pytest.approx(5.0)
+
+    def test_idle_window_edge_two_node_network(self):
+        """One advance, window of one slot: exact per-term accounting."""
+        topo = WSNTopology.from_edges([(0, 1)], {0: (0.0, 0.0), 1: (1.0, 0.0)})
+        result = run_broadcast(topo, 0, EModelPolicy())
+        assert result.latency == 1
+        model = EnergyModel(tx_cost=20.0, rx_cost=15.0, idle_cost=1.0)
+        report = energy_of_broadcast(topo, result, model)
+        assert report.transmissions == 1
+        assert report.receptions == 1
+        # Node 1 listened during the only slot; node 0 idled through it.
+        assert report.idle_slots == 1
+        assert report.total == pytest.approx(20.0 + 15.0 + 1.0)
+
+    def test_empty_window_has_zero_energy(self):
+        """A single-node network broadcasts nothing and burns nothing."""
+        topo = WSNTopology.from_positions([(0.0, 0.0)], radius=1.0)
+        result = run_broadcast(topo, 0, EModelPolicy())
+        assert result.latency == 0
+        report = energy_of_broadcast(topo, result)
+        assert report.transmissions == 0
+        assert report.receptions == 0
+        assert report.idle_slots == 0
+        assert report.total == 0.0
+
+    def test_zero_cost_model_identity(self, small_deployment):
+        """The all-zero model reports zero energy whatever the trace does."""
+        topo, source = small_deployment
+        result = run_broadcast(topo, source, EModelPolicy())
+        report = energy_of_broadcast(
+            topo, result, EnergyModel(0.0, 0.0, 0.0, 0.0)
+        )
+        assert report.total == 0.0
+        assert all(value == 0.0 for value in report.per_node.values())
+        # The event counts still describe the trace.
+        assert report.transmissions == result.total_transmissions
+
+    def test_multisource_energy_uses_shared_window(self, small_deployment):
+        """k messages share one idle window (the makespan), not k windows."""
+        topo, source = small_deployment
+        other = max(u for u in topo.node_ids if u != source)
+        multi = run_broadcast(topo, [source, other], EModelPolicy())
+        report = energy_of_broadcast(topo, multi)
+        merged_transmissions = sum(len(a.color) for a in multi.advances)
+        assert report.transmissions == merged_transmissions
+        idle_only = energy_of_broadcast(
+            topo, multi, EnergyModel(0.0, 0.0, 1.0, 1.0)
+        )
+        assert idle_only.idle_slots <= multi.latency * topo.num_nodes
+
+
+class TestSweepEnergyColumns:
+    def _config(self, **overrides) -> SweepConfig:
+        base = dict(
+            node_counts=(24,),
+            repetitions=2,
+            search=SearchConfig(mode="beam", beam_width=2),
+            max_color_classes=4,
+            source_min_ecc=2,
+            source_max_ecc=None,
+            area_side=22.0,
+            radius=7.0,
+        )
+        base.update(overrides)
+        return SweepConfig(**base)
+
+    def test_every_record_carries_energy_columns(self):
+        sweep = run_sweep(self._config(), system="sync")
+        assert sweep.records
+        for record in sweep.records:
+            assert record.total_energy == pytest.approx(
+                record.tx_energy + record.rx_energy + record.idle_energy
+            )
+            assert record.tx_energy > 0.0
+            assert record.total_energy > 0.0
+
+    def test_multisource_records_carry_energy_columns(self):
+        sweep = run_sweep(
+            self._config(n_sources=2, source_placement="spread"),
+            system="duty",
+            rate=6,
+        )
+        assert sweep.records
+        for record in sweep.records:
+            assert record.n_sources == 2
+            assert record.total_energy == pytest.approx(
+                record.tx_energy + record.rx_energy + record.idle_energy
+            )
+            assert record.mean_message_latency <= record.latency
+            assert record.max_message_latency == record.latency
