@@ -34,6 +34,17 @@ vs ``k``)::
     mlbs-experiments --sources 4 --source-placement spread
     mlbs-experiments multisource --sources 1,2,4
 
+Persist sweeps in a content-addressed experiment store: the first run
+populates it, reruns load cached cells (``store: N cells cached, 0 to
+simulate``), and extended grids only pay for the delta.  Inspect, prune or
+dump the store with the ``store`` target::
+
+    mlbs-experiments sweep --store results/store
+    mlbs-experiments figure4 --store results/store
+    mlbs-experiments store stats --store results/store
+    mlbs-experiments store export --store results/store --format csv
+    mlbs-experiments store gc --store results/store
+
 Discover the registered workloads::
 
     mlbs-experiments --list-scenarios
@@ -54,12 +65,13 @@ from repro.dutycycle.models import duty_model_names, list_duty_models
 from repro.experiments import figures as figures_mod
 from repro.experiments import tables as tables_mod
 from repro.experiments.config import PAPER_SWEEP, QUICK_SWEEP, SweepConfig
-from repro.experiments.report import claims_to_text, summary_claims
+from repro.experiments.report import claims_to_text, store_summary_text, summary_claims
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.network.sources import placement_names
 from repro.scenarios import list_scenarios, scenario_names
 from repro.sim.broadcast import ENGINE_BACKENDS
 from repro.sim.links import link_model_names
+from repro.store import ExperimentStore, open_store, store_backend_names
 from repro.utils.format import to_csv
 
 __all__ = ["main", "build_parser"]
@@ -145,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
             "reliability",
             "multisource",
             "sweep",
+            "store",
             "all",
         ],
         help=(
@@ -153,8 +166,21 @@ def build_parser() -> argparse.ArgumentParser:
             "policies across deployment scenarios; 'reliability' sweeps the "
             "per-link loss probability (latency + retransmissions per policy); "
             "'multisource' sweeps the concurrent-message count (makespan + "
-            "energy per policy); 'all' covers the paper's figures, tables and "
-            "claims"
+            "energy per policy); 'store' manages a persistent experiment "
+            "store (see the 'action' positional); 'all' covers the paper's "
+            "figures, tables and claims"
+        ),
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        choices=["stats", "gc", "export"],
+        help=(
+            "subcommand of the 'store' target: 'stats' summarises the cached "
+            "cells, 'gc' prunes unreachable entries (dangling rows, orphan "
+            "shards, old schema versions), 'export' dumps every cached record "
+            "(--format, --output)"
         ),
     )
     parser.add_argument(
@@ -257,6 +283,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="cycle rate r for the 'sweep' and 'scenarios' targets (default: 10)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent experiment store directory: sweeps load cached cells "
+            "from it and write simulated cells back, so reruns and grid "
+            "extensions only pay for the delta (see docs/store.md)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "consult the store before simulating (default); --no-resume "
+            "forces a full re-simulation that refreshes the cached cells"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=store_backend_names(),
+        default="jsonl",
+        help="record format of 'store export' (default: jsonl)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write 'store export' to this file instead of stdout",
     )
     parser.add_argument(
         "--list-scenarios",
@@ -385,6 +444,37 @@ def main(argv: list[str] | None = None) -> int:
             "of the 'multisource' target"
         )
 
+    if args.action is not None and args.target != "store":
+        parser.error(
+            "the stats/gc/export action only applies to the 'store' target"
+        )
+    if args.target == "store":
+        if args.store is None:
+            parser.error("the 'store' target requires --store PATH")
+        if args.action is None:
+            parser.error("the 'store' target requires an action: stats, gc or export")
+        with ExperimentStore(args.store) as target_store:
+            if args.action == "stats":
+                print(store_summary_text(target_store))
+            elif args.action == "gc":
+                removed = target_store.gc()
+                print(
+                    f"gc: removed {removed.total} items "
+                    f"(dangling rows {removed.dangling_rows}, "
+                    f"orphan shards {removed.orphan_shards}, "
+                    f"stale-schema cells {removed.stale_schema_cells}, "
+                    f"temp files {removed.temp_files})"
+                )
+            else:
+                text = target_store.export(args.format)
+                if args.output is not None:
+                    args.output.parent.mkdir(parents=True, exist_ok=True)
+                    args.output.write_text(text)
+                    print(f"[wrote {args.output}]")
+                else:
+                    print(text, end="")
+        return 0
+
     if args.list_scenarios or args.list_duty_models:
         if args.list_scenarios:
             print(
@@ -403,6 +493,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     config = _config_from_args(args)
+    store = open_store(args.store)
+
+    def _progress(message: str) -> None:
+        print(message, file=sys.stderr)
 
     targets = (
         [args.target]
@@ -411,52 +505,84 @@ def main(argv: list[str] | None = None) -> int:
     )
     fig_cache: dict[str, figures_mod.FigureResult] = {}
 
-    for target in targets:
-        if target in _FIGURES:
-            result = _FIGURES[target](config)
-            fig_cache[target] = result
-            _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
-        elif target in _TABLES:
-            table = _TABLES[target]()
-            _emit(target, table.to_text(), None, args.csv_dir)
-        elif target == "scenarios":
-            result = figures_mod.figure_scenarios(
-                config, system=args.system, rate=args.rate
-            )
-            _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
-        elif target == "reliability":
-            result = figures_mod.figure_reliability(
-                config,
-                loss_probabilities=args.loss,
-                system=args.system,
-                rate=args.rate,
-            )
-            _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
-        elif target == "multisource":
-            result = figures_mod.figure_multisource(
-                config,
-                source_counts=args.sources,
-                system=args.system,
-                rate=args.rate,
-            )
-            _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
-        elif target == "sweep":
-            sweep = run_sweep(config, system=args.system, rate=args.rate)
-            csv = to_csv(SweepResult.ROW_HEADERS, sweep.to_rows())
-            header = (
-                f"sweep: scenario={config.scenario} duty_model={config.duty_model} "
-                f"link_model={config.link_model} loss={config.loss_probability} "
-                f"sources={config.n_sources} placement={config.source_placement} "
-                f"system={sweep.system} rate={sweep.rate} engine={config.engine} "
-                f"records={len(sweep.records)}"
-            )
-            _emit(target, f"{header}\n{csv.rstrip()}", csv, args.csv_dir)
-        elif target == "claims":
-            fig3 = fig_cache.get("figure3") or figures_mod.figure3(config)
-            fig4 = fig_cache.get("figure4") or figures_mod.figure4(config)
-            fig6 = fig_cache.get("figure6") or figures_mod.figure6(config)
-            checks = summary_claims(fig3, fig4, fig6)
-            _emit("claims", claims_to_text(checks), None, args.csv_dir)
+    try:
+        for target in targets:
+            if target in _FIGURES:
+                result = _FIGURES[target](config, store=store, resume=args.resume)
+                fig_cache[target] = result
+                _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+            elif target in _TABLES:
+                table = _TABLES[target]()
+                _emit(target, table.to_text(), None, args.csv_dir)
+            elif target == "scenarios":
+                result = figures_mod.figure_scenarios(
+                    config,
+                    system=args.system,
+                    rate=args.rate,
+                    store=store,
+                    resume=args.resume,
+                )
+                _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+            elif target == "reliability":
+                result = figures_mod.figure_reliability(
+                    config,
+                    loss_probabilities=args.loss,
+                    system=args.system,
+                    rate=args.rate,
+                    store=store,
+                    resume=args.resume,
+                )
+                _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+            elif target == "multisource":
+                result = figures_mod.figure_multisource(
+                    config,
+                    source_counts=args.sources,
+                    system=args.system,
+                    rate=args.rate,
+                    store=store,
+                    resume=args.resume,
+                )
+                _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+            elif target == "sweep":
+                sweep = run_sweep(
+                    config,
+                    system=args.system,
+                    rate=args.rate,
+                    store=store,
+                    resume=args.resume,
+                    progress=_progress if store is not None else None,
+                )
+                csv = to_csv(SweepResult.ROW_HEADERS, sweep.to_rows())
+                header = (
+                    f"sweep: scenario={config.scenario} duty_model={config.duty_model} "
+                    f"link_model={config.link_model} loss={config.loss_probability} "
+                    f"sources={config.n_sources} placement={config.source_placement} "
+                    f"system={sweep.system} rate={sweep.rate} engine={config.engine} "
+                    f"records={len(sweep.records)}"
+                )
+                if store is not None:
+                    total = sweep.cache_hits + sweep.cache_misses
+                    cached = 100.0 * sweep.cache_hits / total if total else 0.0
+                    header += (
+                        f"\nstore: {sweep.cache_hits} hits / "
+                        f"{sweep.cache_misses} misses ({cached:.0f}% cached)"
+                    )
+                _emit(target, f"{header}\n{csv.rstrip()}", csv, args.csv_dir)
+            elif target == "claims":
+                fig3 = fig_cache.get("figure3") or figures_mod.figure3(
+                    config, store=store, resume=args.resume
+                )
+                fig4 = fig_cache.get("figure4") or figures_mod.figure4(
+                    config, store=store, resume=args.resume
+                )
+                fig6 = fig_cache.get("figure6") or figures_mod.figure6(
+                    config, store=store, resume=args.resume
+                )
+                checks = summary_claims(fig3, fig4, fig6)
+                _emit("claims", claims_to_text(checks), None, args.csv_dir)
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 

@@ -18,6 +18,7 @@ Two scales are provided:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field, replace
 from enum import Enum
@@ -37,7 +38,18 @@ __all__ = [
     "QUICK_SWEEP",
     "sweep_from_env",
     "SCALE_ENV_VAR",
+    "CELL_KEY_EXCLUDED_FIELDS",
 ]
+
+#: Config fields that never enter a cell's content digest.  ``engine`` and
+#: ``workers`` only change *how fast* a cell is simulated (the records are
+#: bit-identical by the determinism contract), and the grid shape
+#: (``node_counts``, ``repetitions``) is replaced by the cell's own
+#: coordinates — so extending a grid with more node counts or repetitions
+#: leaves every existing cell's digest (and cached records) intact.
+CELL_KEY_EXCLUDED_FIELDS = frozenset(
+    {"engine", "workers", "node_counts", "repetitions"}
+)
 
 #: Environment variable selecting the benchmark scale ("quick" or "paper").
 SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
@@ -172,6 +184,22 @@ class SweepConfig:
             f"unknown source placement {self.source_placement!r}; "
             f"registered: {placement_names()}",
         )
+
+    def cell_key_fields(self) -> dict[str, object]:
+        """The config fields that parameterise one cell's content digest.
+
+        Everything that can change a cell's records is included (scenario,
+        duty model, link model, loss probability, sources, geometry, seed,
+        search configuration, ...); the fields in
+        :data:`CELL_KEY_EXCLUDED_FIELDS` are dropped because they change
+        execution speed or grid shape, never record content.  Nested
+        dataclasses (``search``) come back as plain dicts so the result is
+        directly JSON-serialisable for hashing.
+        """
+        fields = dataclasses.asdict(self)
+        for name in CELL_KEY_EXCLUDED_FIELDS:
+            fields.pop(name)
+        return fields
 
     @property
     def densities(self) -> tuple[float, ...]:

@@ -16,6 +16,11 @@ policy.  :func:`figure_multisource` sweeps the concurrent-message count
 ``k``: one x position per source count, with a makespan-latency series and
 a total-energy series per policy (the workload catalog's multi-source
 entry — see ``docs/workloads.md``).
+
+Every generator accepts ``store=`` / ``resume=`` and forwards them to
+:func:`~repro.experiments.runner.run_sweep`, so figures regenerate from a
+populated :class:`~repro.store.ExperimentStore` without re-simulating
+(see ``docs/store.md``).
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.dutycycle.cwt import max_cwt
 from repro.experiments.config import SweepConfig, sweep_from_env
 from repro.experiments.runner import SweepResult, default_policies, run_sweep
 from repro.sim.metrics import aggregate_latency
+from repro.store import ExperimentStore
 from repro.utils.format import format_series_table, to_csv
 
 __all__ = [
@@ -96,14 +102,19 @@ def _densities(config: SweepConfig) -> tuple[float, ...]:
     return config.densities
 
 
-def figure3(config: SweepConfig | None = None) -> FigureResult:
+def figure3(
+    config: SweepConfig | None = None,
+    *,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
+) -> FigureResult:
     """Figure 3: ``P(A)`` in the round-based synchronous system.
 
     Series: 26-approximation, OPT, G-OPT, E-model (simulated) and
     OPT-analysis (the Theorem-1 bound ``d + 2`` averaged over deployments).
     """
     config = config or sweep_from_env()
-    sweep = run_sweep(config, system="sync")
+    sweep = run_sweep(config, system="sync", store=store, resume=resume)
     series = sweep.latency_series(["26-approx", "OPT", "G-OPT", "E-model"])
     series["OPT-analysis"] = [
         sync_opt_bound(round(d)) + 1 for d in sweep.eccentricity_series()
@@ -119,8 +130,15 @@ def figure3(config: SweepConfig | None = None) -> FigureResult:
     )
 
 
-def _duty_experiment(config: SweepConfig, rate: int, name: str, title: str) -> FigureResult:
-    sweep = run_sweep(config, system="duty", rate=rate)
+def _duty_experiment(
+    config: SweepConfig,
+    rate: int,
+    name: str,
+    title: str,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
+) -> FigureResult:
+    sweep = run_sweep(config, system="duty", rate=rate, store=store, resume=resume)
     series = sweep.latency_series(["17-approx", "OPT", "G-OPT", "E-model"])
     return FigureResult(
         name=name,
@@ -134,7 +152,13 @@ def _duty_experiment(config: SweepConfig, rate: int, name: str, title: str) -> F
 
 
 def _duty_bounds(
-    config: SweepConfig, rate: int, name: str, title: str, sweep: SweepResult | None
+    config: SweepConfig,
+    rate: int,
+    name: str,
+    title: str,
+    sweep: SweepResult | None,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Analytical upper bounds (Theorem 1 vs the 17kd baseline bound)."""
     if sweep is None:
@@ -147,6 +171,8 @@ def _duty_bounds(
             system="duty",
             rate=rate,
             policies={"E-model": EModelPolicy},
+            store=store,
+            resume=resume,
         )
     eccentricities = sweep.eccentricity_series()
     series = {
@@ -168,7 +194,12 @@ def _duty_bounds(
     )
 
 
-def figure4(config: SweepConfig | None = None) -> FigureResult:
+def figure4(
+    config: SweepConfig | None = None,
+    *,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
+) -> FigureResult:
     """Figure 4: experimental ``P(A)`` in the duty-cycle system, ``r = 10``."""
     config = config or sweep_from_env()
     return _duty_experiment(
@@ -176,11 +207,17 @@ def figure4(config: SweepConfig | None = None) -> FigureResult:
         rate=10,
         name="Figure 4",
         title="End-to-end delay in the duty-cycle system (r = 10)",
+        store=store,
+        resume=resume,
     )
 
 
 def figure5(
-    config: SweepConfig | None = None, sweep: SweepResult | None = None
+    config: SweepConfig | None = None,
+    sweep: SweepResult | None = None,
+    *,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Figure 5: analytical ``P(A)`` upper bounds, duty cycle ``r = 10``.
 
@@ -194,10 +231,17 @@ def figure5(
         name="Figure 5",
         title="Analytical upper bounds in the duty-cycle system (r = 10)",
         sweep=sweep,
+        store=store,
+        resume=resume,
     )
 
 
-def figure6(config: SweepConfig | None = None) -> FigureResult:
+def figure6(
+    config: SweepConfig | None = None,
+    *,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
+) -> FigureResult:
     """Figure 6: experimental ``P(A)`` in the light duty-cycle system, ``r = 50``."""
     config = config or sweep_from_env()
     return _duty_experiment(
@@ -205,11 +249,17 @@ def figure6(config: SweepConfig | None = None) -> FigureResult:
         rate=50,
         name="Figure 6",
         title="End-to-end delay in the light duty-cycle system (r = 50)",
+        store=store,
+        resume=resume,
     )
 
 
 def figure7(
-    config: SweepConfig | None = None, sweep: SweepResult | None = None
+    config: SweepConfig | None = None,
+    sweep: SweepResult | None = None,
+    *,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Figure 7: analytical ``P(A)`` upper bounds, duty cycle ``r = 50``."""
     config = config or sweep_from_env()
@@ -219,6 +269,8 @@ def figure7(
         name="Figure 7",
         title="Analytical upper bounds in the light duty-cycle system (r = 50)",
         sweep=sweep,
+        store=store,
+        resume=resume,
     )
 
 
@@ -240,6 +292,8 @@ def figure_scenarios(
     scenarios: tuple[str, ...] | None = None,
     system: str = "duty",
     rate: int = 10,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Cross-scenario comparison: mean policy latency per deployment scenario.
 
@@ -255,7 +309,11 @@ def figure_scenarios(
     sweeps: list[SweepResult] = []
     for scenario in chosen:
         sweep = run_sweep(
-            dataclasses.replace(config, scenario=scenario), system=system, rate=rate
+            dataclasses.replace(config, scenario=scenario),
+            system=system,
+            rate=rate,
+            store=store,
+            resume=resume,
         )
         sweeps.append(sweep)
         for policy in sweep.policies:
@@ -291,6 +349,8 @@ def figure_reliability(
     loss_probabilities: tuple[float, ...] | None = None,
     system: str = "sync",
     rate: int = 10,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Robustness under lossy links: latency and retransmissions vs loss.
 
@@ -323,7 +383,12 @@ def figure_reliability(
     sweeps: list[SweepResult] = []
     for probability in chosen:
         sweep = run_sweep(
-            config.with_loss(probability), system=system, rate=rate, policies=line_up
+            config.with_loss(probability),
+            system=system,
+            rate=rate,
+            policies=line_up,
+            store=store,
+            resume=resume,
         )
         sweeps.append(sweep)
         for policy in sweep.policies:
@@ -366,6 +431,8 @@ def figure_multisource(
     placement: str | None = None,
     system: str = "duty",
     rate: int = 10,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
 ) -> FigureResult:
     """Latency and energy vs the number of concurrent messages ``k``.
 
@@ -398,7 +465,12 @@ def figure_multisource(
     sweeps: list[SweepResult] = []
     for count in chosen:
         sweep = run_sweep(
-            config.with_sources(count), system=system, rate=rate, policies=line_up
+            config.with_sources(count),
+            system=system,
+            rate=rate,
+            policies=line_up,
+            store=store,
+            resume=resume,
         )
         sweeps.append(sweep)
         for policy in sweep.policies:

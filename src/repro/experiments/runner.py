@@ -39,6 +39,16 @@ trace-identical to the reference engine — including over lossy links.  Any
 combination of ``(scenario, duty_model, link_model, engine, workers)``
 therefore changes *what* is simulated or *how fast*, never the records'
 reproducibility.
+
+The determinism contract is also what makes cells *cacheable by content*:
+``run_sweep(..., store=ExperimentStore(path))`` consults the persistent
+store (:mod:`repro.store`) before dispatching — cached cells load from
+disk, missing cells are simulated and written back as each finishes, and
+the records are re-assembled in the serial cell order either way, so a
+warm (or partially warm) store returns records bit-identical to a cold
+run for any worker count and engine.  Interrupted sweeps resume from the
+cells already persisted; grid extensions (more repetitions, new node
+counts, a new loss point) only pay for the delta.
 """
 
 from __future__ import annotations
@@ -62,6 +72,7 @@ from repro.sim.broadcast import run_broadcast
 from repro.sim.energy import energy_of_broadcast
 from repro.sim.links import build_link_model
 from repro.sim.metrics import aggregate_latency
+from repro.store import ExperimentStore, cell_key_for
 from repro.utils.rng import derive_seed
 
 __all__ = ["RunRecord", "SweepResult", "run_sweep", "default_policies", "SweepCell"]
@@ -112,12 +123,19 @@ class RunRecord:
 
 @dataclass
 class SweepResult:
-    """All records of a sweep plus convenience accessors for figure series."""
+    """All records of a sweep plus convenience accessors for figure series.
+
+    ``cache_hits`` / ``cache_misses`` count the grid cells served from (or
+    written back to) a persistent store when ``run_sweep`` ran with one;
+    both stay ``0`` for store-less sweeps.
+    """
 
     system: str
     rate: int
     config: SweepConfig
     records: list[RunRecord] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def policies(self) -> list[str]:
@@ -434,6 +452,9 @@ def run_sweep(
     policies: Mapping[str, PolicyFactory] | None = None,
     workers: int | None = None,
     engine: str | None = None,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
+    progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
     """Run the full sweep and return the collected records.
 
@@ -458,6 +479,19 @@ def run_sweep(
         own RNG stream from the experiment seed and its coordinates.
     engine:
         Simulation backend override (defaults to ``config.engine``).
+    store:
+        Persistent :class:`~repro.store.ExperimentStore`.  Every simulated
+        cell is written back as it finishes (so an interrupted sweep keeps
+        its progress), and — with ``resume`` — cached cells are loaded
+        instead of re-simulated.  The cache key deliberately excludes
+        ``engine`` and ``workers`` (records are bit-identical across them)
+        and the grid shape, so extended grids reuse every overlapping cell.
+    resume:
+        Consult the store before dispatching (default).  ``False`` forces a
+        full re-simulation that overwrites the cached cells.
+    progress:
+        Optional sink for one-line progress messages (the CLI passes a
+        stderr printer); currently reports the cache hit/miss split.
     """
     effective_workers = _resolve_workers(
         config.workers if workers is None else workers
@@ -483,23 +517,72 @@ def run_sweep(
     ]
 
     result = SweepResult(system=system, rate=effective_rate, config=config)
-    if effective_workers <= 1 or len(cells) <= 1:
-        for cell in cells:
-            result.records.extend(_run_cell(cell))
-        return result
 
-    # "fork" on Linux (cheap start-up, no __main__ re-import, so it also
-    # works from interactive sessions); "spawn" everywhere else — macOS
-    # offers fork but it is unsafe there with Accelerate/objc state, which
-    # is why CPython made spawn the macOS default.  The cells are
-    # self-contained either way: the only pickled state is the cell itself.
-    use_fork = (
-        sys.platform.startswith("linux")
-        and "fork" in multiprocessing.get_all_start_methods()
-    )
-    context = multiprocessing.get_context("fork" if use_fork else "spawn")
-    processes = min(effective_workers, len(cells))
-    with context.Pool(processes=processes) as pool:
-        for records in pool.imap(_run_cell, cells, chunksize=1):
-            result.records.extend(records)
+    # Partition the grid against the store: cached cells load immediately,
+    # missing cells go to the dispatch list.  ``per_cell`` is keyed by the
+    # serial cell index so the final reassembly is order-identical to a
+    # store-less run regardless of which cells were cached.
+    keys: list = []
+    per_cell: dict[int, list[RunRecord]] = {}
+    if store is not None:
+        line_up = (
+            policies if policies is not None else default_policies(config, system)
+        )
+        keys = [
+            cell_key_for(
+                config,
+                system=cell.system,
+                rate=cell.rate,
+                num_nodes=cell.num_nodes,
+                repetition=cell.repetition,
+                policies=tuple(line_up),
+            )
+            for cell in cells
+        ]
+        if resume:
+            for index, key in enumerate(keys):
+                cached = store.get(key)
+                if cached is not None:
+                    per_cell[index] = cached
+        result.cache_hits = len(per_cell)
+        result.cache_misses = len(cells) - len(per_cell)
+        if progress is not None:
+            progress(
+                f"store: {result.cache_hits} cells cached, "
+                f"{result.cache_misses} to simulate"
+            )
+
+    def _finish(index: int, records: list[RunRecord]) -> None:
+        per_cell[index] = records
+        if store is not None:
+            store.put(keys[index], records)
+
+    missing = [index for index in range(len(cells)) if index not in per_cell]
+    if missing:
+        pending = [cells[index] for index in missing]
+        if effective_workers <= 1 or len(pending) <= 1:
+            for index, cell in zip(missing, pending):
+                _finish(index, _run_cell(cell))
+        else:
+            # "fork" on Linux (cheap start-up, no __main__ re-import, so it
+            # also works from interactive sessions); "spawn" everywhere else
+            # — macOS offers fork but it is unsafe there with
+            # Accelerate/objc state, which is why CPython made spawn the
+            # macOS default.  The cells are self-contained either way: the
+            # only pickled state is the cell itself.  The parent process
+            # alone touches the store, as each worker's batch arrives.
+            use_fork = (
+                sys.platform.startswith("linux")
+                and "fork" in multiprocessing.get_all_start_methods()
+            )
+            context = multiprocessing.get_context("fork" if use_fork else "spawn")
+            processes = min(effective_workers, len(pending))
+            with context.Pool(processes=processes) as pool:
+                for index, records in zip(
+                    missing, pool.imap(_run_cell, pending, chunksize=1)
+                ):
+                    _finish(index, records)
+
+    for index in range(len(cells)):
+        result.records.extend(per_cell[index])
     return result

@@ -1,0 +1,400 @@
+"""The persistent experiment store: sqlite index + content-addressed shards.
+
+Layout (everything under one root directory)::
+
+    <root>/
+        index.sqlite            # one row per cached cell (the queryable index)
+        shards/<dd>/<digest>.jsonl   # one shard per cell, content-addressed
+
+The index row carries the cell's coordinates and workload axes as real
+columns (queryable with SQL), the full canonical-JSON key parameters, and
+the shard's relative path + backend; the shard holds the cell's
+:class:`~repro.experiments.runner.RunRecord` batch in a
+:class:`~repro.store.backends.StoreBackend` format.  Writes are atomic and
+crash-safe: the shard is written with temp-file + ``os.replace`` *before*
+its index row is committed, so a reader either sees a complete cell or no
+cell — never a torn one.  Only the parent sweep process writes (workers
+return records; the parent persists them), so sqlite's default locking is
+plenty even when several sweeps share a store.
+
+``get``/``put`` are the cache interface the sweep runner uses;
+:meth:`ExperimentStore.stats`, :meth:`ExperimentStore.gc`,
+:meth:`ExperimentStore.export` and :meth:`ExperimentStore.query` are the
+operator surface behind ``repro store stats|gc|export`` and the figure /
+report query layer.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.store.backends import StoreBackend, get_store_backend
+from repro.store.cellkey import STORE_SCHEMA_VERSION, CellKey
+from repro.utils.serialization import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.experiments.runner import RunRecord, SweepResult
+
+__all__ = ["ExperimentStore", "StoreStats", "GcStats", "open_store"]
+
+_INDEX_NAME = "index.sqlite"
+_SHARDS_DIR = "shards"
+
+#: How old an in-flight temp file must be before ``gc`` treats it as a
+#: crash leftover rather than a concurrent sweep's live atomic write.
+_TEMP_FILE_MAX_AGE_S = 3600.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    digest TEXT PRIMARY KEY,
+    schema_version INTEGER NOT NULL,
+    system TEXT NOT NULL,
+    rate INTEGER NOT NULL,
+    num_nodes INTEGER NOT NULL,
+    repetition INTEGER NOT NULL,
+    scenario TEXT NOT NULL,
+    duty_model TEXT NOT NULL,
+    link_model TEXT NOT NULL,
+    loss_probability REAL NOT NULL,
+    n_sources INTEGER NOT NULL,
+    source_placement TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    policies TEXT NOT NULL,
+    params TEXT NOT NULL,
+    backend TEXT NOT NULL,
+    shard TEXT NOT NULL,
+    num_records INTEGER NOT NULL,
+    created_at TEXT NOT NULL
+)
+"""
+
+#: The canonical cell order of every multi-cell read (query / export):
+#: workload axes first, then the grid coordinates, digest as tiebreaker.
+_CANONICAL_ORDER = (
+    "ORDER BY system, rate, scenario, duty_model, link_model, "
+    "loss_probability, n_sources, source_placement, num_nodes, repetition, "
+    "digest"
+)
+
+#: Index columns that :meth:`ExperimentStore.query` accepts as filters.
+_QUERYABLE_COLUMNS = (
+    "system",
+    "rate",
+    "num_nodes",
+    "repetition",
+    "scenario",
+    "duty_model",
+    "link_model",
+    "loss_probability",
+    "n_sources",
+    "source_placement",
+    "seed",
+    "schema_version",
+)
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate shape of a store (the ``store stats`` target)."""
+
+    cells: int
+    records: int
+    shard_bytes: int
+    systems: dict[str, int] = field(default_factory=dict)
+    scenarios: dict[str, int] = field(default_factory=dict)
+    link_models: dict[str, int] = field(default_factory=dict)
+    schema_versions: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GcStats:
+    """What one :meth:`ExperimentStore.gc` pass removed."""
+
+    dangling_rows: int
+    orphan_shards: int
+    stale_schema_cells: int
+    temp_files: int
+
+    @property
+    def total(self) -> int:
+        """Total number of removed items."""
+        return (
+            self.dangling_rows
+            + self.orphan_shards
+            + self.stale_schema_cells
+            + self.temp_files
+        )
+
+
+class ExperimentStore:
+    """A persistent, content-addressed cache of sweep cells.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created if missing).
+    backend:
+        Shard format for *new* cells, by registry name or instance
+        (``"jsonl"`` by default).  Reads always honour the backend recorded
+        in each cell's index row, so stores with mixed shard formats stay
+        readable.
+    """
+
+    def __init__(self, root: Path | str, *, backend: str | StoreBackend = "jsonl") -> None:
+        self.root = Path(root)
+        self.backend = (
+            get_store_backend(backend) if isinstance(backend, str) else backend
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(self.root / _INDEX_NAME, timeout=30.0)
+        self._connection.execute(_SCHEMA)
+        self._connection.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the index connection (the store can be re-opened any time)."""
+        self._connection.close()
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExperimentStore({str(self.root)!r}, backend={self.backend.name!r})"
+
+    # -- the cache interface ----------------------------------------------
+
+    def contains(self, key: CellKey) -> bool:
+        """Whether a complete cell for ``key`` is cached.
+
+        Index lookup + shard existence only — no shard read, so probing
+        membership of a large cell costs no record deserialisation.
+        """
+        row = self._connection.execute(
+            "SELECT shard FROM cells WHERE digest = ?", (key.digest,)
+        ).fetchone()
+        return row is not None and (self.root / row[0]).is_file()
+
+    def get(self, key: CellKey) -> "list[RunRecord] | None":
+        """The cached records of ``key``'s cell, or ``None`` on a miss.
+
+        A row whose shard file has vanished (manual deletion, partial copy)
+        is treated as a miss and its index entry dropped, so the cell is
+        simply re-simulated instead of failing the sweep.
+        """
+        row = self._connection.execute(
+            "SELECT shard, backend FROM cells WHERE digest = ?", (key.digest,)
+        ).fetchone()
+        if row is None:
+            return None
+        shard_path = self.root / row[0]
+        try:
+            text = shard_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self._connection.execute(
+                "DELETE FROM cells WHERE digest = ?", (key.digest,)
+            )
+            self._connection.commit()
+            return None
+        return get_store_backend(row[1]).loads(text)
+
+    def put(self, key: CellKey, records: "Sequence[RunRecord]") -> str:
+        """Persist one cell's record batch; returns the content digest.
+
+        Shard first (atomic rename), index row second (committed
+        transaction): a crash between the two leaves an orphan shard that
+        the next ``put`` of the same content reuses and ``gc`` can clean —
+        never a row pointing at missing or torn data.  Re-putting a digest
+        replaces the cell (same content by construction).
+        """
+        digest = key.digest
+        shard_rel = f"{_SHARDS_DIR}/{digest[:2]}/{digest}{self.backend.extension}"
+        atomic_write_text(self.root / shard_rel, self.backend.dumps(records))
+        params = json.loads(key.params)
+        self._connection.execute(
+            "INSERT OR REPLACE INTO cells VALUES "
+            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                digest,
+                key.schema_version,
+                key.system,
+                key.rate,
+                key.num_nodes,
+                key.repetition,
+                params["scenario"],
+                params["duty_model"],
+                params["link_model"],
+                params["loss_probability"],
+                params["n_sources"],
+                params["source_placement"],
+                params["seed"],
+                json.dumps(list(key.policies)),
+                key.params,
+                self.backend.name,
+                shard_rel,
+                len(records),
+                datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            ),
+        )
+        self._connection.commit()
+        return digest
+
+    # -- the operator surface ---------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Aggregate counts over the index plus shard bytes on disk."""
+        cells, records = self._connection.execute(
+            "SELECT COUNT(*), COALESCE(SUM(num_records), 0) FROM cells"
+        ).fetchone()
+
+        def _grouped(column: str) -> dict:
+            return dict(
+                self._connection.execute(
+                    f"SELECT {column}, COUNT(*) FROM cells "
+                    f"GROUP BY {column} ORDER BY {column}"
+                ).fetchall()
+            )
+
+        shard_bytes = sum(
+            path.stat().st_size
+            for path in (self.root / _SHARDS_DIR).glob("*/*")
+            if path.is_file()
+        )
+        return StoreStats(
+            cells=cells,
+            records=records,
+            shard_bytes=shard_bytes,
+            systems=_grouped("system"),
+            scenarios=_grouped("scenario"),
+            link_models=_grouped("link_model"),
+            schema_versions=_grouped("schema_version"),
+        )
+
+    def gc(self) -> GcStats:
+        """Remove everything unreachable: dangling rows, orphan shards,
+        cells of old schema versions (their digests can never be requested
+        again — the digest embeds the version), and leftover temp files.
+        """
+        stale = self._connection.execute(
+            "SELECT digest, shard FROM cells WHERE schema_version != ?",
+            (STORE_SCHEMA_VERSION,),
+        ).fetchall()
+        for digest, shard in stale:
+            (self.root / shard).unlink(missing_ok=True)
+            self._connection.execute("DELETE FROM cells WHERE digest = ?", (digest,))
+
+        dangling = [
+            (digest, shard)
+            for digest, shard in self._connection.execute(
+                "SELECT digest, shard FROM cells"
+            ).fetchall()
+            if not (self.root / shard).is_file()
+        ]
+        for digest, _ in dangling:
+            self._connection.execute("DELETE FROM cells WHERE digest = ?", (digest,))
+        self._connection.commit()
+
+        referenced = {
+            shard for (shard,) in self._connection.execute("SELECT shard FROM cells")
+        }
+        orphans = temps = 0
+        now = time.time()
+        shards_root = self.root / _SHARDS_DIR
+        for path in sorted(shards_root.glob("*/*")) if shards_root.is_dir() else []:
+            if not path.is_file():
+                continue
+            if path.name.startswith("."):
+                # A dot-prefixed file is an in-flight atomic write: only
+                # reap it once it is old enough to be a crash leftover, so
+                # gc is safe to run alongside a live sweep.
+                if now - path.stat().st_mtime > _TEMP_FILE_MAX_AGE_S:
+                    path.unlink()
+                    temps += 1
+            elif str(path.relative_to(self.root)) not in referenced:
+                path.unlink()
+                orphans += 1
+        return GcStats(
+            dangling_rows=len(dangling),
+            orphan_shards=orphans,
+            stale_schema_cells=len(stale),
+            temp_files=temps,
+        )
+
+    def iter_cells(self) -> Iterator[tuple[dict, "list[RunRecord]"]]:
+        """Every cached cell in canonical order: ``(index row, records)``.
+
+        The index row comes back as a plain column dict; cells whose shard
+        has vanished are skipped (``gc`` reaps their rows).
+        """
+        yield from self._matching_cells({})
+
+    def export(self, format: str = "jsonl") -> str:
+        """Every cached record, canonically ordered, in one ``format`` blob.
+
+        The output is ``loads``-compatible with the named backend, so an
+        export re-imports losslessly (the ``store export`` round trip).
+        """
+        backend = get_store_backend(format)
+        records: list = []
+        for _, cell_records in self.iter_cells():
+            records.extend(cell_records)
+        return backend.dumps(records)
+
+    def query(self, *, policy: str | None = None, **filters: object) -> "SweepResult":
+        """Cached records as a :class:`~repro.experiments.runner.SweepResult`.
+
+        See :func:`repro.store.query.query_records` for filter semantics.
+        """
+        from repro.store.query import query_records
+
+        return query_records(self, policy=policy, **filters)
+
+    # -- internals shared with the query layer ----------------------------
+
+    def _matching_cells(
+        self, filters: dict[str, object]
+    ) -> "list[tuple[dict, list[RunRecord]]]":
+        unknown = sorted(set(filters) - set(_QUERYABLE_COLUMNS))
+        if unknown:
+            raise ValueError(
+                f"unknown query filters {unknown}; queryable columns: "
+                f"{sorted(_QUERYABLE_COLUMNS)}"
+            )
+        clauses = [f"{column} = ?" for column in filters]
+        where = f"WHERE {' AND '.join(clauses)} " if clauses else ""
+        cursor = self._connection.execute(
+            f"SELECT * FROM cells {where}{_CANONICAL_ORDER}",
+            tuple(filters.values()),
+        )
+        columns = [description[0] for description in cursor.description]
+        cells = []
+        for values in cursor.fetchall():
+            row = dict(zip(columns, values))
+            try:
+                text = (self.root / row["shard"]).read_text(encoding="utf-8")
+            except FileNotFoundError:
+                continue
+            cells.append((row, get_store_backend(row["backend"]).loads(text)))
+        return cells
+
+
+def open_store(
+    path: Path | str | None, *, backend: str = "jsonl"
+) -> ExperimentStore | None:
+    """Open ``path`` as an :class:`ExperimentStore` (``None`` passes through).
+
+    The convenience used by the CLI and the figure generators so "no
+    ``--store``" and "store at PATH" share one code path.
+    """
+    if path is None:
+        return None
+    return ExperimentStore(path, backend=backend)

@@ -1,6 +1,7 @@
 """Shared utilities: seeded RNG helpers, caching, validation, formatting."""
 
 from repro.utils.rng import derive_seed, make_rng
+from repro.utils.serialization import atomic_write_text, canonical_json
 from repro.utils.validation import (
     check_non_negative,
     check_positive,
@@ -9,6 +10,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write_text",
+    "canonical_json",
     "check_non_negative",
     "check_positive",
     "check_probability",

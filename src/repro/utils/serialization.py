@@ -1,0 +1,67 @@
+"""Canonical serialization and atomic file writes for the experiment store.
+
+Two concerns that must behave identically everywhere they are used:
+
+* :func:`canonical_json` — a *stable* JSON rendering (sorted keys, no
+  whitespace variance, exact float round-trips) so that the same logical
+  value always hashes to the same content digest, in every process and on
+  every platform;
+* :func:`atomic_write_text` — write-then-rename so a reader (or a crashed
+  writer) never observes a half-written file; ``os.replace`` is atomic on
+  POSIX and Windows for same-filesystem paths, which holds because the
+  temporary file lives next to its target.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["canonical_json", "atomic_write_text"]
+
+
+def canonical_json(value: object) -> str:
+    """Render ``value`` as canonical JSON (stable across processes).
+
+    Keys are sorted, separators carry no whitespace, and non-ASCII text is
+    escaped, so equal values always produce equal strings — the property
+    the content-addressed cell digests rely on.  Floats use Python's
+    ``repr``-based JSON encoding, which round-trips every IEEE-754 double
+    exactly.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def atomic_write_text(path: Path | str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The parent directory is created if needed.  A crash mid-write leaves at
+    most a stale ``.tmp-*`` sibling (cleaned by the store's ``gc``), never a
+    truncated target file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=target.parent,
+        prefix=f".{target.name}.tmp-",
+        suffix="",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
