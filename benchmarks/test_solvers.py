@@ -1,0 +1,136 @@
+"""Exact-solver benchmark: branch-and-bound vs ILP wall time, small-n grid.
+
+The exact tier's two value backends are interchangeable by the determinism
+contract (identical optima, identical canonical plans), so the only
+question left is wall-clock cost — measured here per instance of a small-n
+grid in both system models.  Three assertions:
+
+* **agreement** — on every instance both backends report the same optimum
+  and extract the identical plan (the contract, re-checked at bench scale);
+* **certification** — the admissible lower bound never exceeds the
+  optimum, and the plan's latency matches the reported optimum;
+* **availability** — the branch-and-bound runs everywhere; the ILP rows
+  are recorded only where scipy/HiGHS is importable (the JSON notes which).
+
+Results are written as JSON to ``$REPRO_BENCH_SOLVERS_JSON`` (default
+``BENCH_solvers.json`` in the working directory) so CI can upload them as
+an artifact alongside the other ``BENCH_*`` files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.solvers import ilp_available, solve_broadcast
+
+from _bench_utils import emit, time_per_call
+
+#: (num_nodes, seed) per grid instance — sparse enough that interference
+#: bites (the flood bound is not tight and the search must branch).
+INSTANCES = ((6, 11), (8, 12), (10, 3), (12, 5))
+SYSTEMS = ("sync", "duty")
+DUTY_RATE = 4
+
+
+def _json_path() -> str:
+    return os.environ.get("REPRO_BENCH_SOLVERS_JSON", "BENCH_solvers.json")
+
+
+def _instance(num_nodes: int, seed: int):
+    config = DeploymentConfig(
+        num_nodes=num_nodes,
+        area_side=16.0 if num_nodes <= 8 else 22.0,
+        radius=6.0,
+        source_min_ecc=2,
+        source_max_ecc=None,
+    )
+    return deploy_uniform(config=config, seed=seed)
+
+
+def _schedule_for(topology, system: str) -> WakeupSchedule | None:
+    if system == "sync":
+        return None
+    return WakeupSchedule(topology.node_ids, rate=DUTY_RATE, seed=9)
+
+
+@pytest.fixture(scope="module")
+def results():
+    backends = ["branch-and-bound"] + (["ilp"] if ilp_available() else [])
+    rows = []
+    for num_nodes, seed in INSTANCES:
+        topology, source = _instance(num_nodes, seed)
+        for system in SYSTEMS:
+            schedule = _schedule_for(topology, system)
+            plans = {}
+            timings = {}
+            for backend in backends:
+                plans[backend] = solve_broadcast(
+                    topology, source, schedule=schedule, backend=backend
+                )
+                timings[backend] = time_per_call(
+                    lambda backend=backend: solve_broadcast(
+                        topology, source, schedule=schedule, backend=backend
+                    ),
+                    min_reps=3,
+                    budget_s=0.5,
+                )
+            reference = plans["branch-and-bound"]
+            rows.append(
+                {
+                    "num_nodes": num_nodes,
+                    "seed": seed,
+                    "system": system,
+                    "optimum": reference.optimum,
+                    "lower_bound": reference.lower_bound,
+                    "explored": reference.explored,
+                    "seconds": {name: timings[name] for name in backends},
+                    "plans": plans,
+                }
+            )
+    return {"backends": backends, "rows": rows}
+
+
+def test_backends_agree_on_every_instance(results):
+    for row in results["rows"]:
+        plans = row["plans"]
+        reference = plans["branch-and-bound"]
+        assert reference.lower_bound <= reference.optimum
+        assert reference.latency == reference.optimum - reference.start_time + 1
+        for plan in plans.values():
+            assert plan.optimum == reference.optimum
+            assert plan.advances == reference.advances
+
+
+def test_report_and_emit_json(results):
+    header = f"{'instance':<14} {'system':<6} {'optimum':>7} {'explored':>8}"
+    for backend in results["backends"]:
+        header += f" {backend + ' (ms)':>22}"
+    lines = [header]
+    payload_rows = []
+    for row in results["rows"]:
+        line = (
+            f"n={row['num_nodes']:<3} s={row['seed']:<6} {row['system']:<6} "
+            f"{row['optimum']:>7} {row['explored']:>8}"
+        )
+        for backend in results["backends"]:
+            line += f" {row['seconds'][backend] * 1e3:>22.3f}"
+        lines.append(line)
+        payload_rows.append({k: v for k, v in row.items() if k != "plans"})
+    emit("Exact solver backends: wall time per certified optimum", "\n".join(lines))
+
+    payload = {
+        "benchmark": "solver-backends",
+        "ilp_available": ilp_available(),
+        "backends": results["backends"],
+        "duty_rate": DUTY_RATE,
+        "rows": payload_rows,
+    }
+    path = _json_path()
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"[wrote {path}]")

@@ -38,9 +38,15 @@ Sub-packages
 ``repro.sim``
     Round-based and slot-based broadcast simulators, trace recording,
     schedule validation and metrics.
+``repro.solvers``
+    The solver-tier catalog: exact minimum-latency schedulers
+    (branch-and-bound, ILP-accelerated) behind the same policy interface,
+    plus the registry (:data:`repro.solvers.SOLVER_TIERS`) grading every
+    scheduler by its optimality guarantee.
 ``repro.experiments``
     The evaluation harness regenerating every figure and table of the
-    paper's Section V.
+    paper's Section V, plus the approximation-ratio study built on the
+    solver tiers.
 """
 
 from repro.core.advance import Advance, BroadcastState
@@ -74,6 +80,15 @@ from repro.sim.links import IndependentLossLinks, LinkModel, ReliableLinks
 from repro.sim.metrics import BroadcastMetrics, MultiBroadcastMetrics
 from repro.sim.trace import BroadcastResult, MultiBroadcastResult
 from repro.sim.unreliable import run_lossy_broadcast
+from repro.solvers import (
+    SOLVER_TIERS,
+    BranchAndBoundPolicy,
+    ExactPolicy,
+    SolverPlan,
+    SolverTier,
+    solve_broadcast,
+    solver_names,
+)
 
 __version__ = "1.0.0"
 
@@ -81,6 +96,7 @@ __all__ = [
     "Advance",
     "Approx17Policy",
     "Approx26Policy",
+    "BranchAndBoundPolicy",
     "BroadcastMetrics",
     "BroadcastResult",
     "BroadcastState",
@@ -90,6 +106,7 @@ __all__ = [
     "EdgeEstimate",
     "EnergyModel",
     "EnergyReport",
+    "ExactPolicy",
     "FloodingPolicy",
     "GreedyOptPolicy",
     "IndependentLossLinks",
@@ -100,8 +117,11 @@ __all__ = [
     "Node",
     "ReliableLinks",
     "OptPolicy",
+    "SOLVER_TIERS",
     "SchedulingPolicy",
     "SearchConfig",
+    "SolverPlan",
+    "SolverTier",
     "TimeCounter",
     "WakeupSchedule",
     "WSNTopology",
@@ -116,6 +136,8 @@ __all__ = [
     "run_broadcast",
     "run_lossy_broadcast",
     "select_sources",
+    "solve_broadcast",
+    "solver_names",
     "sync_26_bound",
     "sync_opt_bound",
     "__version__",

@@ -71,8 +71,10 @@ class Approx17Policy(SchedulingPolicy):
     ) -> None:
         if schedule is None:
             raise ValueError(
-                "Approx17Policy models the duty-cycle system and needs a "
-                "WakeupSchedule; use Approx26Policy for the round-based system"
+                "Approx17Policy schedules the duty-cycle system and needs a "
+                "WakeupSchedule; the solver registry maps each system to its "
+                "tiers (repro.solvers.SOLVER_TIERS, --list-solvers): the "
+                "round-based baseline is the '26-approx' tier"
             )
         self._topology = topology
         self._schedule = schedule

@@ -111,8 +111,10 @@ class Approx26Policy(SchedulingPolicy):
     ) -> None:
         if schedule is not None:
             raise ValueError(
-                "Approx26Policy models the round-based synchronous system; "
-                "use Approx17Policy for the duty-cycle system"
+                "Approx26Policy schedules the round-based synchronous system; "
+                "the solver registry maps each system to its tiers "
+                "(repro.solvers.SOLVER_TIERS, --list-solvers): the duty-cycle "
+                "baseline is the '17-approx' tier"
             )
         self._topology = topology
         self._tree = build_broadcast_tree(topology, source, parent_mode=self._parent_mode)

@@ -3,11 +3,14 @@
 from repro.experiments.config import (
     PAPER_SWEEP,
     QUICK_SWEEP,
+    RATIO_SWEEP,
     ExperimentScale,
     SweepConfig,
     sweep_from_env,
 )
 from repro.experiments.figures import (
+    DEFAULT_RATIO_DUTY_MODELS,
+    DEFAULT_RATIO_SCENARIOS,
     DEFAULT_SCENARIO_SET,
     DEFAULT_SOURCE_COUNTS,
     figure3,
@@ -16,19 +19,23 @@ from repro.experiments.figures import (
     figure6,
     figure7,
     figure_multisource,
+    figure_ratio,
     figure_reliability,
     figure_scenarios,
 )
 from repro.experiments.runner import RunRecord, SweepResult, run_sweep
 from repro.experiments.tables import table2, table3, table4
-from repro.experiments.report import multisource_claims, summary_claims
+from repro.experiments.report import multisource_claims, ratio_claims, summary_claims
 
 __all__ = [
+    "DEFAULT_RATIO_DUTY_MODELS",
+    "DEFAULT_RATIO_SCENARIOS",
     "DEFAULT_SCENARIO_SET",
     "DEFAULT_SOURCE_COUNTS",
     "ExperimentScale",
     "PAPER_SWEEP",
     "QUICK_SWEEP",
+    "RATIO_SWEEP",
     "RunRecord",
     "SweepConfig",
     "SweepResult",
@@ -38,9 +45,11 @@ __all__ = [
     "figure6",
     "figure7",
     "figure_multisource",
+    "figure_ratio",
     "figure_reliability",
     "figure_scenarios",
     "multisource_claims",
+    "ratio_claims",
     "run_sweep",
     "summary_claims",
     "sweep_from_env",

@@ -45,10 +45,18 @@ dump the store with the ``store`` target::
     mlbs-experiments store export --store results/store --format csv
     mlbs-experiments store gc --store results/store
 
-Discover the registered workloads::
+Run the approximation-ratio study — every policy's latency divided by the
+exact solver's certified optimum on small instances, checked against the
+proved bounds (exit code 1 if any ratio claim fails)::
+
+    mlbs-experiments ratio
+    mlbs-experiments ratio --system sync --solver branch-and-bound
+
+Discover the registered workloads and solver tiers::
 
     mlbs-experiments --list-scenarios
     mlbs-experiments --list-duty-models
+    mlbs-experiments --list-solvers
 
 The same entry point is reachable with ``python -m repro.experiments``.
 """
@@ -64,13 +72,19 @@ from pathlib import Path
 from repro.dutycycle.models import duty_model_names, list_duty_models
 from repro.experiments import figures as figures_mod
 from repro.experiments import tables as tables_mod
-from repro.experiments.config import PAPER_SWEEP, QUICK_SWEEP, SweepConfig
-from repro.experiments.report import claims_to_text, store_summary_text, summary_claims
+from repro.experiments.config import PAPER_SWEEP, QUICK_SWEEP, RATIO_SWEEP, SweepConfig
+from repro.experiments.report import (
+    claims_to_text,
+    ratio_claims,
+    store_summary_text,
+    summary_claims,
+)
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.network.sources import placement_names
 from repro.scenarios import list_scenarios, scenario_names
 from repro.sim.broadcast import ENGINE_BACKENDS
 from repro.sim.links import link_model_names
+from repro.solvers import solver_catalog, solver_names
 from repro.store import ExperimentStore, open_store, store_backend_names
 from repro.utils.format import to_csv
 
@@ -156,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
             "scenarios",
             "reliability",
             "multisource",
+            "ratio",
             "sweep",
             "store",
             "all",
@@ -166,9 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
             "policies across deployment scenarios; 'reliability' sweeps the "
             "per-link loss probability (latency + retransmissions per policy); "
             "'multisource' sweeps the concurrent-message count (makespan + "
-            "energy per policy); 'store' manages a persistent experiment "
-            "store (see the 'action' positional); 'all' covers the paper's "
-            "figures, tables and claims"
+            "energy per policy); 'ratio' runs the approximation-ratio study "
+            "(observed latency / exact optimum vs the proved bounds, exit "
+            "code 1 if a ratio claim fails); 'store' manages a persistent "
+            "experiment store (see the 'action' positional); 'all' covers "
+            "the paper's figures, tables and claims"
         ),
     )
     parser.add_argument(
@@ -318,6 +335,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write 'store export' to this file instead of stdout",
     )
     parser.add_argument(
+        "--solver",
+        choices=solver_names(),
+        default=None,
+        help=(
+            "solver tier added to the policy line-up (default: heuristic, "
+            "the paper's E-model already in every line-up; 'ratio' defaults "
+            "to exact; see --list-solvers and docs/solvers.md)"
+        ),
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="print the registered deployment scenarios and exit",
@@ -327,11 +354,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered duty-cycle models and exit",
     )
+    parser.add_argument(
+        "--list-solvers",
+        action="store_true",
+        help="print the registered solver tiers and exit",
+    )
     return parser
 
 
 def _config_from_args(args: argparse.Namespace) -> SweepConfig:
-    if args.scale == "paper":
+    if args.target == "ratio":
+        # The ratio study needs instances small enough for the exact tier,
+        # so it starts from its own preset rather than the sweep scales
+        # (--nodes / --solver still override it).
+        config = RATIO_SWEEP
+    elif args.scale == "paper":
         config = PAPER_SWEEP
     elif args.scale == "quick":
         config = QUICK_SWEEP
@@ -362,6 +399,8 @@ def _config_from_args(args: argparse.Namespace) -> SweepConfig:
     # 'multisource' target sweeps its (possibly plural) counts one by one.
     if args.sources is not None and args.target != "multisource":
         config = dataclasses.replace(config, n_sources=args.sources[0])
+    if args.solver is not None:
+        config = dataclasses.replace(config, solver=args.solver)
     return config
 
 
@@ -416,7 +455,11 @@ def main(argv: list[str] | None = None) -> int:
     # paper's n_sources=1), so only a non-default choice is non-paper.
     if args.source_placement not in (None, "random"):
         non_paper.append("--source-placement")
-    workload_targets = ("sweep", "scenarios", "reliability", "multisource")
+    # --solver heuristic is the default tier of every line-up, so only a
+    # non-default tier changes the sweep away from the paper's workload.
+    if args.solver not in (None, "heuristic"):
+        non_paper.append("--solver")
+    workload_targets = ("sweep", "scenarios", "reliability", "multisource", "ratio")
     if non_paper and args.target not in workload_targets:
         parser.error(
             f"{'/'.join(non_paper)} only applies to the 'sweep', 'scenarios', "
@@ -475,7 +518,7 @@ def main(argv: list[str] | None = None) -> int:
                     print(text, end="")
         return 0
 
-    if args.list_scenarios or args.list_duty_models:
+    if args.list_scenarios or args.list_duty_models or args.list_solvers:
         if args.list_scenarios:
             print(
                 _format_catalog(
@@ -488,6 +531,13 @@ def main(argv: list[str] | None = None) -> int:
                 _format_catalog(
                     "Registered duty-cycle models (--duty-model):",
                     [(m.name, m.summary, dict(m.defaults)) for m in list_duty_models()],
+                )
+            )
+        if args.list_solvers:
+            print(
+                _format_catalog(
+                    "Registered solver tiers (--solver):",
+                    [(name, summary, {}) for name, summary in solver_catalog()],
                 )
             )
         return 0
@@ -504,6 +554,7 @@ def main(argv: list[str] | None = None) -> int:
         else [*_FIGURES, *_TABLES, "claims"]
     )
     fig_cache: dict[str, figures_mod.FigureResult] = {}
+    exit_code = 0
 
     try:
         for target in targets:
@@ -543,6 +594,24 @@ def main(argv: list[str] | None = None) -> int:
                     resume=args.resume,
                 )
                 _emit(target, result.to_text(), result.to_csv(), args.csv_dir)
+            elif target == "ratio":
+                result = figures_mod.figure_ratio(
+                    config,
+                    system=args.system,
+                    rate=args.rate,
+                    store=store,
+                    resume=args.resume,
+                )
+                checks = ratio_claims(result)
+                held = sum(1 for check in checks if check.holds)
+                summary = (
+                    f"ratio: {held}/{len(checks)} claims hold "
+                    f"(solver={config.solver} system={args.system})"
+                )
+                text = f"{result.to_text()}\n\n{claims_to_text(checks)}\n{summary}"
+                _emit(target, text, result.to_csv(), args.csv_dir)
+                if held != len(checks):
+                    exit_code = 1
             elif target == "sweep":
                 sweep = run_sweep(
                     config,
@@ -583,7 +652,7 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if store is not None:
             store.close()
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ from repro.network.sources import placement_names
 from repro.scenarios import scenario_names
 from repro.sim.broadcast import ENGINE_BACKENDS
 from repro.sim.links import link_model_names
+from repro.solvers.registry import SOLVER_TIERS, solver_names
 from repro.utils.validation import check_probability, require
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "SweepConfig",
     "PAPER_SWEEP",
     "QUICK_SWEEP",
+    "RATIO_SWEEP",
     "sweep_from_env",
     "SCALE_ENV_VAR",
     "CELL_KEY_EXCLUDED_FIELDS",
@@ -123,6 +125,17 @@ class SweepConfig:
         or ``"corner"``); ignored for ``n_sources=1``.  Each cell derives
         its placement seed by splitting the cell seed on ``"multi-source"``,
         so records stay bit-identical for any worker count and engine.
+    solver:
+        Named tier from :data:`repro.solvers.SOLVER_TIERS` added to the
+        policy line-up of every sweep (``--list-solvers`` on the CLI prints
+        the catalog).  ``"heuristic"`` — the paper's E-model, already part
+        of every default line-up — keeps the sweep bit-identical to
+        pre-solver records.  The exact tiers carry an instance-size cap
+        (``max_nodes``) and, like the 17/26-approximation baselines, replay
+        fixed plans, so they require reliable links and a single source;
+        both constraints are enforced here, at configuration time.  The
+        solver is *workload* configuration (it changes which records a cell
+        produces), so it participates in the store's cell keys.
     """
 
     node_counts: tuple[int, ...] = (50, 100, 150, 200, 250, 300)
@@ -145,6 +158,7 @@ class SweepConfig:
     loss_probability: float = 0.0
     n_sources: int = 1
     source_placement: str = "random"
+    solver: str = "heuristic"
 
     def __post_init__(self) -> None:
         require(len(self.node_counts) > 0, "node_counts must not be empty")
@@ -183,6 +197,24 @@ class SweepConfig:
             self.source_placement in placement_names(),
             f"unknown source placement {self.source_placement!r}; "
             f"registered: {placement_names()}",
+        )
+        require(
+            self.solver in solver_names(),
+            f"unknown solver tier {self.solver!r}; registered: {solver_names()}",
+        )
+        tier = SOLVER_TIERS[self.solver]
+        require(
+            tier.max_nodes is None or max(self.node_counts) <= tier.max_nodes,
+            f"solver tier {self.solver!r} accepts at most {tier.max_nodes} "
+            f"nodes, but the grid goes up to {max(self.node_counts)}; use "
+            "smaller node_counts or a scalable tier (--list-solvers)",
+        )
+        require(
+            tier.loss_tolerant
+            or (self.link_model == "reliable" and self.n_sources == 1),
+            f"solver tier {self.solver!r} replays a fixed plan and needs "
+            "reliable links and a single source; pick a loss-tolerant tier "
+            "for the loss and multi-source axes (--list-solvers)",
         )
 
     def cell_key_fields(self) -> dict[str, object]:
@@ -245,6 +277,21 @@ QUICK_SWEEP = SweepConfig(
     repetitions=2,
     search=SearchConfig(mode="beam", beam_width=4),
     max_color_classes=16,
+)
+
+#: The approximation-ratio study's workload: instances small enough for the
+#: exact tier (``max_nodes``), a tighter area so sparse deployments stay
+#: connected, and a relaxed source-eccentricity vetting (hop distances of
+#: 5-8 are unreachable at these sizes).  ``figures.figure_ratio`` sweeps
+#: this grid per (scenario, duty model) and divides every policy's latency
+#: by the exact optimum of the same cell.
+RATIO_SWEEP = SweepConfig(
+    node_counts=(6, 8, 10),
+    area_side=20.0,
+    repetitions=3,
+    source_min_ecc=2,
+    source_max_ecc=None,
+    solver="exact",
 )
 
 

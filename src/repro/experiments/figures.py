@@ -17,6 +17,13 @@ policy.  :func:`figure_multisource` sweeps the concurrent-message count
 a total-energy series per policy (the workload catalog's multi-source
 entry — see ``docs/workloads.md``).
 
+:func:`figure_ratio` turns the solver catalog into an empirical
+approximation-ratio study: on instances small enough for the exact tier
+(:data:`~repro.experiments.config.RATIO_SWEEP`) it divides every policy's
+latency by the certified optimum of the *same* deployment across a
+scenario x duty-model grid, pairing each observed ratio with its proved
+bound (see ``docs/solvers.md``).
+
 Every generator accepts ``store=`` / ``resume=`` and forwards them to
 :func:`~repro.experiments.runner.run_sweep`, so figures regenerate from a
 populated :class:`~repro.store.ExperimentStore` without re-simulating
@@ -34,19 +41,24 @@ from repro.core.bounds import (
     sync_opt_bound,
 )
 from repro.dutycycle.cwt import max_cwt
-from repro.experiments.config import SweepConfig, sweep_from_env
+from repro.experiments.config import RATIO_SWEEP, SweepConfig, sweep_from_env
 from repro.experiments.runner import SweepResult, default_policies, run_sweep
 from repro.sim.metrics import aggregate_latency
+from repro.solvers.registry import SOLVER_TIERS
 from repro.store import ExperimentStore
 from repro.utils.format import format_series_table, to_csv
+from repro.utils.validation import require
 
 __all__ = [
     "FigureResult",
     "DEFAULT_SCENARIO_SET",
     "DEFAULT_LOSS_PROBABILITIES",
     "DEFAULT_SOURCE_COUNTS",
+    "DEFAULT_RATIO_SCENARIOS",
+    "DEFAULT_RATIO_DUTY_MODELS",
     "RETX_SUFFIX",
     "ENERGY_SUFFIX",
+    "BOUND_SUFFIX",
     "figure3",
     "figure4",
     "figure5",
@@ -55,6 +67,7 @@ __all__ = [
     "figure_scenarios",
     "figure_reliability",
     "figure_multisource",
+    "figure_ratio",
 ]
 
 
@@ -494,5 +507,119 @@ def figure_multisource(
         x_values=tuple(float(count) for count in chosen),
         series={**latency_series, **energy_series},
         y_label=f"makespan [{unit}] / energy [model units]",
+        sweep=sweeps[-1] if sweeps else None,
+    )
+
+
+#: Deployment scenarios of the :func:`figure_ratio` grid.
+DEFAULT_RATIO_SCENARIOS: tuple[str, ...] = ("uniform", "clustered", "ring")
+
+#: Duty-cycle models of the :func:`figure_ratio` grid (duty system only).
+DEFAULT_RATIO_DUTY_MODELS: tuple[str, ...] = ("uniform", "two-tier")
+
+#: Suffix of the proved-bound series paired with a baseline's observed
+#: ratios by :func:`figure_ratio` (mirrors :data:`RETX_SUFFIX`).
+BOUND_SUFFIX = " [bound]"
+
+
+def figure_ratio(
+    config: SweepConfig | None = None,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    duty_models: tuple[str, ...] | None = None,
+    system: str = "duty",
+    rate: int = 10,
+    store: ExperimentStore | None = None,
+    resume: bool = True,
+) -> FigureResult:
+    """Observed approximation ratios vs the exact optimum, per grid cell.
+
+    The empirical counterpart of the solver catalog's proved bounds
+    (``docs/solvers.md``): ``config`` — :data:`RATIO_SWEEP` by default —
+    must select an exact solver tier, whose certified optimum anchors every
+    ratio.  One full sweep runs per grid cell (scenario x duty model for
+    the duty system; the duty-model axis collapses for ``system="sync"``,
+    where wake-up schedules do not exist), and each policy's latency is
+    divided by the exact optimum of the *same* deployment (same node count,
+    repetition, source and wake-up schedule) before averaging:
+
+    * ``<policy>`` — mean observed ratio ``latency / optimum`` per cell
+      (the exact tier's own series is identically ``1.0``);
+    * ``<baseline> [bound]`` — the baseline's proved ratio bound, constant
+      across the grid: ``26`` for the synchronous 26-approximation, and
+      ``17 k`` for the duty-cycle 17-approximation (latency at most
+      ``17 k d`` slots against an optimum of at least ``d``, with ``k``
+      the maximum contention-window size :func:`~repro.dutycycle.cwt.max_cwt`
+      of the configured rate).
+
+    ``report.ratio_claims`` checks the three invariants this figure makes
+    measurable: no ratio below 1, the exact tier exactly at 1, and every
+    observed ratio at or below its proved bound.
+    """
+    config = config or RATIO_SWEEP
+    tier = SOLVER_TIERS[config.solver]
+    require(
+        tier.guarantee == "optimal",
+        f"figure_ratio needs an exact solver tier to anchor the ratios; "
+        f"config.solver={config.solver!r} guarantees only "
+        f"{tier.guarantee!r}",
+    )
+    chosen_scenarios = (
+        DEFAULT_RATIO_SCENARIOS if scenarios is None else tuple(scenarios)
+    )
+    if system == "sync":
+        chosen_models: tuple[str, ...] = (config.duty_model,)
+    else:
+        chosen_models = (
+            DEFAULT_RATIO_DUTY_MODELS if duty_models is None else tuple(duty_models)
+        )
+    grid = [
+        (scenario, duty_model)
+        for scenario in chosen_scenarios
+        for duty_model in chosen_models
+    ]
+    labels = tuple(
+        scenario if system == "sync" else f"{scenario}/{duty_model}"
+        for scenario, duty_model in grid
+    )
+    series: dict[str, list[float]] = {}
+    sweeps: list[SweepResult] = []
+    for scenario, duty_model in grid:
+        sweep = run_sweep(
+            dataclasses.replace(config, scenario=scenario, duty_model=duty_model),
+            system=system,
+            rate=rate,
+            store=store,
+            resume=resume,
+        )
+        sweeps.append(sweep)
+        # Pair each record against the exact optimum of its own deployment.
+        optimum = {
+            (r.num_nodes, r.repetition): r.latency
+            for r in sweep.records_for(tier.name)
+        }
+        for policy in sweep.policies:
+            ratios = [
+                r.latency / optimum[(r.num_nodes, r.repetition)]
+                for r in sweep.records_for(policy)
+            ]
+            series.setdefault(policy, []).append(sum(ratios) / len(ratios))
+    # The proved ratio bounds, paired with the observed series they cap.
+    if system == "sync" and "26-approx" in series:
+        series[f"26-approx{BOUND_SUFFIX}"] = [26.0] * len(grid)
+    if system == "duty" and "17-approx" in series:
+        series[f"17-approx{BOUND_SUFFIX}"] = [17.0 * max_cwt(rate)] * len(grid)
+    title = (
+        f"Observed latency ratio vs the exact optimum "
+        f"({'duty cycle r = ' + str(rate) if system == 'duty' else 'round-based'}, "
+        f"solver tier {config.solver!r}, n <= {max(config.node_counts)})"
+    )
+    return FigureResult(
+        name="Approximation ratio",
+        title=title,
+        x_label="scenario" if system == "sync" else "scenario/duty model",
+        x_values=labels,
+        series=series,
+        y_label="latency / optimum",
         sweep=sweeps[-1] if sweeps else None,
     )

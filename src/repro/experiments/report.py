@@ -18,8 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.figures import ENERGY_SUFFIX, RETX_SUFFIX, FigureResult
+from repro.experiments.figures import (
+    BOUND_SUFFIX,
+    ENERGY_SUFFIX,
+    RETX_SUFFIX,
+    FigureResult,
+)
 from repro.sim.metrics import improvement_percent
+from repro.solvers.registry import SOLVER_TIERS
 from repro.store import ExperimentStore
 from repro.utils.format import format_table
 
@@ -29,6 +35,7 @@ __all__ = [
     "summary_claims_from_store",
     "reliability_claims",
     "multisource_claims",
+    "ratio_claims",
     "claims_to_text",
     "store_summary_text",
 ]
@@ -282,6 +289,67 @@ def multisource_claims(figure: FigureResult) -> list[ClaimCheck]:
                 holds=energy[peak] >= energy[base],
             )
         )
+    return checks
+
+
+def ratio_claims(figure: FigureResult) -> list[ClaimCheck]:
+    """Evaluate the approximation-ratio invariants on a ratio figure.
+
+    ``figure`` is the result of
+    :func:`repro.experiments.figures.figure_ratio`; its x axis enumerates
+    the scenario x duty-model grid and its series are observed latency
+    ratios against the exact optimum, with proved bounds attached as
+    ``<baseline> [bound]`` pairs.  Three families of checks:
+
+    * *the optimum is a true floor* — no policy's observed ratio dips
+      below 1 on any grid cell (the exact tier certifies the minimum over
+      every conflict-aware schedule, so a smaller ratio would disprove it);
+    * *the exact tier is exact* — the solver tier's own ratio is
+      identically ``1.0`` across the grid;
+    * *proved bounds hold empirically* — every baseline with a proved
+      ratio bound stays at or below it on every grid cell (the catalog's
+      guarantee column, measured).
+    """
+    checks: list[ClaimCheck] = []
+    policies = [name for name in figure.series if not name.endswith(BOUND_SUFFIX)]
+    for policy in policies:
+        ratios = figure.series_for(policy)
+        low = min(ratios)
+        checks.append(
+            ClaimCheck(
+                claim=f"{policy}: never beats the certified optimum",
+                paper="exact tier is a true lower bound",
+                measured=f"min observed ratio {low:.3f}",
+                value=low,
+                holds=low >= 1.0 - 1e-9,
+            )
+        )
+        tier = SOLVER_TIERS.get(policy)
+        if tier is not None and tier.guarantee == "optimal":
+            high = max(ratios)
+            checks.append(
+                ClaimCheck(
+                    claim=f"{policy}: achieves ratio 1 on every grid cell",
+                    paper="optimal by the determinism contract",
+                    measured=f"observed ratios {low:.3f}..{high:.3f}",
+                    value=high,
+                    holds=low == 1.0 and high == 1.0,
+                )
+            )
+        bound_series = figure.series.get(f"{policy}{BOUND_SUFFIX}")
+        if bound_series is not None:
+            worst = max(
+                observed - bound for observed, bound in zip(ratios, bound_series)
+            )
+            checks.append(
+                ClaimCheck(
+                    claim=f"{policy}: observed ratio within the proved bound",
+                    paper=f"proved ratio bound {min(bound_series):g}",
+                    measured=f"max observed ratio {max(ratios):.3f}",
+                    value=max(ratios),
+                    holds=worst <= 0.0,
+                )
+            )
     return checks
 
 

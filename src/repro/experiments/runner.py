@@ -72,6 +72,7 @@ from repro.sim.broadcast import run_broadcast
 from repro.sim.energy import energy_of_broadcast
 from repro.sim.links import build_link_model
 from repro.sim.metrics import aggregate_latency
+from repro.solvers.registry import SOLVER_TIERS
 from repro.store import ExperimentStore, cell_key_for
 from repro.utils.rng import derive_seed
 
@@ -269,6 +270,15 @@ def default_policies(
     slot contention defers advances, which only frontier re-planners
     tolerate.
 
+    ``config.solver`` selects an extra tier from
+    :data:`repro.solvers.SOLVER_TIERS` and prepends it to the line-up under
+    its tier name (strongest guarantee first, matching the catalog order).
+    The default ``"heuristic"`` tier *is* the E-model already present in
+    every line-up, so default sweeps — and their store cell keys — are
+    unchanged; a tier that only schedules for the other system model (the
+    26-approximation on duty, the 17-approximation on sync) is rejected
+    loudly rather than silently dropped.
+
     The factories are :func:`functools.partial` objects over importable
     classes, so the mapping pickles cleanly into worker processes.
     """
@@ -292,6 +302,18 @@ def default_policies(
         }
     else:
         raise ValueError(f"unknown system {system!r}; expected 'sync' or 'duty'")
+    tier = SOLVER_TIERS[config.solver]
+    if system not in tier.systems:
+        raise ValueError(
+            f"solver tier {tier.name!r} only schedules for "
+            f"{' and '.join(tier.systems)} sweeps, not {system!r}; pick a "
+            "tier supporting this system model (--list-solvers)"
+        )
+    # The heuristic tier is the E-model already in every line-up; the
+    # 17/26-approximations are likewise present on their native system.
+    # Only a genuinely new tier (the exact solvers) extends the line-up.
+    if tier.name != "heuristic" and tier.name not in line_up:
+        line_up = {tier.name: tier.factory, **line_up}
     if config.link_model != "reliable" or config.n_sources > 1:
         line_up = {
             name: factory

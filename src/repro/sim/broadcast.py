@@ -171,7 +171,9 @@ def run_broadcast(
             if not link.lossless and not getattr(item, "loss_tolerant", True):
                 raise ValueError(
                     f"policy {item.name!r} replays a fixed plan that assumes "
-                    "reliable delivery and cannot run over lossy links; use a "
+                    "reliable delivery and cannot run over lossy links; pick "
+                    "a loss-tolerant tier from the solver registry "
+                    "(repro.solvers.SOLVER_TIERS, --list-solvers) or a "
                     "frontier scheduler (OPT, G-OPT, E-model, largest-first) "
                     "for the loss axis"
                 )
@@ -180,7 +182,9 @@ def run_broadcast(
                     f"policy {item.name!r} replays a fixed plan and cannot "
                     "share the timeline with concurrent messages: multi-source "
                     "slot contention defers advances, which requires frontier "
-                    "re-planning (OPT, G-OPT, E-model, largest-first)"
+                    "re-planning — pick a loss-tolerant tier from the solver "
+                    "registry (repro.solvers.SOLVER_TIERS, --list-solvers) or "
+                    "a frontier scheduler (OPT, G-OPT, E-model, largest-first)"
                 )
         for item, src in zip(policies, sources):
             item.prepare(topology, schedule, src)
@@ -216,8 +220,10 @@ def run_broadcast(
     if not link.lossless and not getattr(policy, "loss_tolerant", True):
         raise ValueError(
             f"policy {policy.name!r} replays a fixed plan that assumes reliable "
-            "delivery and cannot run over lossy links; use a frontier scheduler "
-            "(OPT, G-OPT, E-model, largest-first) for the loss axis"
+            "delivery and cannot run over lossy links; pick a loss-tolerant "
+            "tier from the solver registry (repro.solvers.SOLVER_TIERS, "
+            "--list-solvers) or a frontier scheduler (OPT, G-OPT, E-model, "
+            "largest-first) for the loss axis"
         )
     policy.prepare(topology, schedule, source)
     if schedule is None:

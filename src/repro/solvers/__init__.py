@@ -1,0 +1,56 @@
+"""Solver tiers: exact schedulers, proved-bound baselines, heuristics.
+
+The packages below this one *run* the paper's algorithm; this package
+*audits* it.  :data:`SOLVER_TIERS` catalogs every guarantee level — from
+the always-available exact branch-and-bound (ILP-accelerated when scipy is
+importable) down to the paper's E-model heuristic — behind one registry,
+and :func:`solve_broadcast` computes certified optimal schedules that
+replay through the ordinary simulation engines.  The observed-vs-proved
+approximation-ratio study (``figures.figure_ratio`` /
+``report.ratio_claims``, CLI target ``ratio``) is built on top; see
+``docs/solvers.md`` for the catalog and the exact-solver determinism
+contract.
+"""
+
+from repro.solvers.branch_bound import (
+    DEFAULT_MAX_STATES,
+    SolverError,
+    SolverLimitExceeded,
+    SolverPlan,
+    extract_plan,
+    flood_completion_bound,
+    greedy_completion,
+    minimum_completion,
+)
+from repro.solvers.bruteforce import brute_force_completion
+from repro.solvers.exact import SOLVER_BACKENDS, solve_broadcast
+from repro.solvers.ilp import ilp_available, minimum_completion_ilp
+from repro.solvers.policies import BranchAndBoundPolicy, ExactPolicy
+from repro.solvers.registry import (
+    SOLVER_TIERS,
+    SolverTier,
+    solver_catalog,
+    solver_names,
+)
+
+__all__ = [
+    "SOLVER_TIERS",
+    "SolverTier",
+    "solver_names",
+    "solver_catalog",
+    "solve_broadcast",
+    "SOLVER_BACKENDS",
+    "SolverPlan",
+    "SolverError",
+    "SolverLimitExceeded",
+    "ExactPolicy",
+    "BranchAndBoundPolicy",
+    "minimum_completion",
+    "extract_plan",
+    "flood_completion_bound",
+    "greedy_completion",
+    "brute_force_completion",
+    "ilp_available",
+    "minimum_completion_ilp",
+    "DEFAULT_MAX_STATES",
+]

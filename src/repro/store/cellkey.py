@@ -13,8 +13,8 @@ the engine backend, the worker count, or the rest of the grid.  A
   so names identify it; custom factories must use distinct names),
 * every record-affecting config field
   (:meth:`repro.experiments.config.SweepConfig.cell_key_fields` — scenario,
-  duty model, link model, loss probability, sources, geometry, base seed,
-  search configuration), and
+  duty model, link model, loss probability, sources, solver tier,
+  geometry, base seed, search configuration), and
 * :data:`STORE_SCHEMA_VERSION`, bumped whenever the record schema or the
   simulation semantics change incompatibly, so stale caches can never be
   returned as fresh results.
@@ -47,7 +47,10 @@ __all__ = ["STORE_SCHEMA_VERSION", "CellKey", "cell_key_for"]
 
 #: Version of the store's record schema and cache-key contract.  Part of
 #: every digest: bumping it invalidates every previously cached cell.
-STORE_SCHEMA_VERSION = 1
+#: History: 1 — initial store; 2 — ``SweepConfig.solver`` joined the
+#: record-affecting fields (the solver tier is workload configuration, so
+#: pre-solver caches must not satisfy solver-aware lookups).
+STORE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

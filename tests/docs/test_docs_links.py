@@ -146,3 +146,39 @@ def test_reliability_guide_cross_links_energy_model():
     guide = (REPO_ROOT / "docs" / "reliability.md").read_text()
     assert "reproduction.md#energy-accounting" in guide
     assert "workloads.md" in guide
+
+
+def test_solver_catalog_matches_registry_and_cli(capsys):
+    """Catalog-sync: the docs table, ``--list-solvers`` and the registry
+    must present the same tier names (like the scenarios checker)."""
+    from repro.experiments.cli import main as cli_main
+    from repro.solvers import solver_names
+
+    catalog = (REPO_ROOT / "docs" / "solvers.md").read_text()
+    missing = [name for name in solver_names() if f"`{name}`" not in catalog]
+    assert not missing, f"solver tiers missing from docs/solvers.md: {missing}"
+
+    assert cli_main(["--list-solvers"]) == 0
+    out = capsys.readouterr().out
+    missing_cli = [name for name in solver_names() if name not in out]
+    assert not missing_cli, f"solver tiers missing from --list-solvers: {missing_cli}"
+
+    # The load-bearing sections of the catalog page.
+    assert "Determinism contract" in catalog
+    assert "Proved bound vs observed ratio" in catalog
+    assert "--solver" in catalog and "--list-solvers" in catalog
+
+
+def test_readme_mentions_solver_quickstart():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "--list-solvers" in readme
+    assert "--solver" in readme
+    assert "docs/solvers.md" in readme
+    assert "ratio" in readme  # the approximation-ratio study target
+
+
+def test_architecture_guide_describes_solver_axis():
+    guide = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    assert "SOLVER_TIERS" in guide
+    assert "solvers.md" in guide
+    assert "SweepConfig.solver" in guide

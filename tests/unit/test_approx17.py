@@ -18,6 +18,11 @@ class TestApprox17Policy:
         with pytest.raises(ValueError, match="duty-cycle"):
             Approx17Policy().prepare(topo, None, source)
 
+    def test_schedule_error_points_at_the_solver_registry(self, figure1):
+        topo, source = figure1
+        with pytest.raises(ValueError, match="SOLVER_TIERS"):
+            Approx17Policy().prepare(topo, None, source)
+
     def test_requires_prepare_before_use(self, figure1):
         topo, source = figure1
         schedule = WakeupSchedule(topo.node_ids, rate=5, seed=0)
@@ -95,3 +100,40 @@ class TestApprox17Policy:
         )
         assert result.covered == topo.node_set
         assert result.end_time >= 4  # can never beat the optimum of Table IV
+
+    def test_line_latency_is_hand_computable(self, line_topology):
+        """At rate 1 every node is awake each slot, so the duty-cycle layers
+        degenerate to the synchronous ones: one slot per hop on the 6-node
+        line, latency = 5 = optimum."""
+        schedule = WakeupSchedule(line_topology.node_ids, rate=1, seed=0)
+        result = run_broadcast(
+            line_topology, 0, Approx17Policy(), schedule=schedule, align_start=True
+        )
+        assert result.latency == 5
+
+    def test_star_latency_is_hand_computable(self):
+        """One always-awake hub transmission covers every leaf: latency 1."""
+        from repro.network.topology import WSNTopology
+
+        positions = {
+            0: (0.0, 0.0), 1: (1.0, 0.0), 2: (-1.0, 0.0),
+            3: (0.0, 1.0), 4: (0.0, -1.0),
+        }
+        star = WSNTopology.from_edges([(0, i) for i in range(1, 5)], positions)
+        schedule = WakeupSchedule(star.node_ids, rate=1, seed=0)
+        result = run_broadcast(
+            star, 0, Approx17Policy(), schedule=schedule, align_start=True
+        )
+        assert result.latency == 1
+
+    def test_latency_within_the_proved_bound(self, small_deployment, duty_schedule_factory):
+        """The solver catalog's guarantee, measured: latency <= 17 k d."""
+        from repro.dutycycle.cwt import max_cwt
+
+        topo, source = small_deployment
+        schedule = duty_schedule_factory(topo, rate=10)
+        result = run_broadcast(
+            topo, source, Approx17Policy(), schedule=schedule, align_start=True
+        )
+        depth = max(topo.hop_distances(source).values())
+        assert result.latency <= 17 * max_cwt(10) * depth

@@ -74,6 +74,12 @@ class TestApprox26Policy:
         with pytest.raises(ValueError, match="round-based"):
             Approx26Policy().prepare(topo, schedule, source)
 
+    def test_schedule_error_points_at_the_solver_registry(self, figure1):
+        topo, source = figure1
+        schedule = WakeupSchedule(topo.node_ids, rate=10, seed=0)
+        with pytest.raises(ValueError, match="SOLVER_TIERS"):
+            Approx26Policy().prepare(topo, schedule, source)
+
     def test_none_when_complete(self, figure1):
         topo, source = figure1
         policy = Approx26Policy()
@@ -87,3 +93,28 @@ class TestApprox26Policy:
         policy.prepare(topo, None, source)
         assert policy.tree is not None
         assert policy.tree.source == source
+
+    def test_line_latency_is_hand_computable(self, line_topology):
+        """On the 6-node line each layer is one conflict-free parent, so
+        the layered schedule is one round per hop: latency = 5 = optimum."""
+        result = run_broadcast(line_topology, 0, Approx26Policy())
+        assert result.latency == 5
+
+    def test_star_latency_is_hand_computable(self):
+        """One hub transmission covers every leaf: latency = 1 = optimum."""
+        from repro.network.topology import WSNTopology
+
+        positions = {
+            0: (0.0, 0.0), 1: (1.0, 0.0), 2: (-1.0, 0.0),
+            3: (0.0, 1.0), 4: (0.0, -1.0),
+        }
+        star = WSNTopology.from_edges([(0, i) for i in range(1, 5)], positions)
+        result = run_broadcast(star, 0, Approx26Policy())
+        assert result.latency == 1
+
+    def test_latency_within_the_proved_bound(self, small_deployment):
+        """The solver catalog's guarantee, measured: latency <= 26 d."""
+        topo, source = small_deployment
+        result = run_broadcast(topo, source, Approx26Policy())
+        depth = max(topo.hop_distances(source).values())
+        assert result.latency <= 26 * depth

@@ -1,0 +1,330 @@
+"""Unit tests for the exact solver tier (repro.solvers).
+
+The load-bearing checks: the branch-and-bound matches the exhaustive
+brute-force oracle on every small instance of the grid (which
+independently verifies its two dominance arguments), the ILP backend —
+when scipy is importable — agrees with both, and the extracted plan
+replays bit-identically through both simulation engines regardless of
+which value backend produced the optimum (the determinism contract of
+``docs/solvers.md``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import EModelPolicy, GreedyOptPolicy
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.network.topology import WSNTopology
+from repro.sim.broadcast import run_broadcast
+from repro.sim.links import IndependentLossLinks
+from repro.solvers import (
+    SOLVER_TIERS,
+    BranchAndBoundPolicy,
+    ExactPolicy,
+    SolverError,
+    SolverLimitExceeded,
+    brute_force_completion,
+    extract_plan,
+    flood_completion_bound,
+    greedy_completion,
+    ilp_available,
+    minimum_completion,
+    minimum_completion_ilp,
+    solve_broadcast,
+    solver_catalog,
+    solver_names,
+)
+
+
+def _line(num_nodes: int) -> WSNTopology:
+    positions = {i: (float(i), 0.0) for i in range(num_nodes)}
+    return WSNTopology.from_edges(
+        [(i, i + 1) for i in range(num_nodes - 1)], positions
+    )
+
+
+def _sparse(num_nodes: int, seed: int) -> tuple[WSNTopology, int]:
+    """A sparse connected deployment where interference actually bites
+    (the flood bound is not tight, so the branch-and-bound must search)."""
+    config = DeploymentConfig(
+        num_nodes=num_nodes,
+        area_side=16.0,
+        radius=6.0,
+        source_min_ecc=2,
+        source_max_ecc=None,
+    )
+    return deploy_uniform(config=config, seed=seed)
+
+
+def _small_instances() -> list[tuple[str, WSNTopology, int]]:
+    """The brute-forceable verification grid: every instance has <= 8 nodes."""
+    dense_config = DeploymentConfig(
+        num_nodes=5,
+        area_side=10.0,
+        radius=6.0,
+        source_min_ecc=1,
+        source_max_ecc=None,
+    )
+    cases = [("dense-5", *deploy_uniform(config=dense_config, seed=1))]
+    for num_nodes, seed in ((6, 11), (6, 21), (8, 12), (8, 21)):
+        cases.append((f"sparse-{num_nodes}-s{seed}", *_sparse(num_nodes, seed)))
+    cases.append(("line-6", _line(6), 0))
+    return cases
+
+
+GRID = _small_instances()
+GRID_IDS = [name for name, _, _ in GRID]
+SYSTEMS = ("sync", "duty")
+
+
+def _schedule_for(topology: WSNTopology, system: str) -> WakeupSchedule | None:
+    if system == "sync":
+        return None
+    return WakeupSchedule(topology.node_ids, rate=4, seed=9)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("name,topology,source", GRID, ids=GRID_IDS)
+class TestExactValueMatchesOracle:
+    def test_branch_and_bound_matches_brute_force(self, name, topology, source, system):
+        schedule = _schedule_for(topology, system)
+        covered = frozenset({source})
+        optimum, lower_bound, explored = minimum_completion(
+            topology, covered, schedule=schedule
+        )
+        assert optimum == brute_force_completion(topology, covered, schedule=schedule)
+        assert lower_bound <= optimum  # the flood bound is admissible
+        assert explored >= 0
+
+    def test_greedy_is_feasible_hence_an_upper_bound(
+        self, name, topology, source, system
+    ):
+        schedule = _schedule_for(topology, system)
+        covered = frozenset({source})
+        optimum, _, _ = minimum_completion(topology, covered, schedule=schedule)
+        greedy = greedy_completion(topology, covered, 1, schedule)
+        assert greedy is not None
+        assert optimum <= greedy
+
+    @pytest.mark.skipif(not ilp_available(), reason="scipy/HiGHS not importable")
+    def test_ilp_agrees_with_branch_and_bound(self, name, topology, source, system):
+        schedule = _schedule_for(topology, system)
+        covered = frozenset({source})
+        optimum, _, _ = minimum_completion(topology, covered, schedule=schedule)
+        assert minimum_completion_ilp(topology, covered, schedule=schedule) == optimum
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("name,topology,source", GRID, ids=GRID_IDS)
+class TestDeterminismContract:
+    def test_plan_is_backend_independent(self, name, topology, source, system):
+        """Any exact value backend yields the identical canonical plan."""
+        schedule = _schedule_for(topology, system)
+        plan_bb = solve_broadcast(
+            topology, source, schedule=schedule, backend="branch-and-bound"
+        )
+        assert plan_bb.backend == "branch-and-bound"
+        assert plan_bb.lower_bound <= plan_bb.optimum
+        if ilp_available():
+            plan_ilp = solve_broadcast(
+                topology, source, schedule=schedule, backend="ilp"
+            )
+            assert plan_ilp.backend == "ilp"
+            assert plan_ilp.optimum == plan_bb.optimum
+            assert plan_ilp.advances == plan_bb.advances
+
+    def test_plan_replays_bit_identically_on_both_engines(
+        self, name, topology, source, system
+    ):
+        schedule = _schedule_for(topology, system)
+        reference = run_broadcast(
+            topology,
+            source,
+            ExactPolicy(),
+            schedule=schedule,
+            align_start=schedule is not None,
+            engine="reference",
+        )
+        vectorized = run_broadcast(
+            topology,
+            source,
+            ExactPolicy(),
+            schedule=schedule,
+            align_start=schedule is not None,
+            engine="vectorized",
+        )
+        assert reference == vectorized
+        assert reference.covered == topology.node_set
+
+    def test_exact_and_pinned_fallback_produce_equal_traces(
+        self, name, topology, source, system
+    ):
+        schedule = _schedule_for(topology, system)
+        auto = run_broadcast(
+            topology,
+            source,
+            ExactPolicy(),
+            schedule=schedule,
+            align_start=schedule is not None,
+        )
+        pinned = run_broadcast(
+            topology,
+            source,
+            BranchAndBoundPolicy(),
+            schedule=schedule,
+            align_start=schedule is not None,
+        )
+        assert auto.advances == pinned.advances
+        assert auto.latency == pinned.latency
+
+    def test_replayed_latency_never_beaten_by_heuristics(
+        self, name, topology, source, system
+    ):
+        schedule = _schedule_for(topology, system)
+        exact = run_broadcast(
+            topology,
+            source,
+            ExactPolicy(),
+            schedule=schedule,
+            align_start=schedule is not None,
+        )
+        for make_policy in (GreedyOptPolicy, EModelPolicy):
+            other = run_broadcast(
+                topology,
+                source,
+                make_policy(),
+                schedule=schedule,
+                align_start=schedule is not None,
+            )
+            assert exact.latency <= other.latency
+
+
+class TestSolverEdges:
+    def test_already_covered_instance_is_trivial(self):
+        topology = _line(4)
+        covered = topology.node_set
+        assert minimum_completion(topology, covered)[0] == 0
+        assert brute_force_completion(topology, covered) == 0
+        assert extract_plan(topology, covered, 0) == ((), 0)
+
+    def test_disconnected_topology_raises(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (9.0, 9.0), 3: (10.0, 9.0)}
+        topology = WSNTopology.from_edges([(0, 1), (2, 3)], positions)
+        assert flood_completion_bound(topology, frozenset({0}), 1, None) is None
+        with pytest.raises(SolverError, match="disconnected"):
+            minimum_completion(topology, frozenset({0}))
+        with pytest.raises(SolverError, match="disconnected"):
+            brute_force_completion(topology, frozenset({0}))
+
+    def test_grid_is_not_trivially_bounded(self):
+        """At least one grid instance forces the search to branch (otherwise
+        the grid would never exercise the dominance arguments)."""
+        explored_total = 0
+        for _, topology, source in GRID:
+            for system in SYSTEMS:
+                schedule = _schedule_for(topology, system)
+                explored_total += minimum_completion(
+                    topology, frozenset({source}), schedule=schedule
+                )[2]
+        assert explored_total > 0
+
+    def test_state_budget_is_enforced(self):
+        topology, source = _sparse(8, 12)
+        with pytest.raises(SolverLimitExceeded, match="search states"):
+            minimum_completion(topology, frozenset({source}), max_states=0)
+
+    def test_wrong_deadline_is_rejected(self):
+        topology = _line(6)
+        optimum, _, _ = minimum_completion(topology, frozenset({0}))
+        with pytest.raises(SolverError, match="deadline"):
+            extract_plan(topology, frozenset({0}), optimum - 1)
+
+    def test_unknown_backend_is_rejected(self):
+        topology = _line(4)
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            solve_broadcast(topology, 0, backend="simplex")
+
+    def test_line_optimum_is_the_eccentricity(self):
+        """Hand-checkable: on a line, one hop per slot is optimal (sync)."""
+        topology = _line(6)
+        plan = solve_broadcast(topology, 0)
+        assert plan.latency == 5
+        assert plan.lower_bound == plan.optimum  # the flood bound is tight here
+
+
+class TestSolverPolicies:
+    def test_policy_requires_prepare(self):
+        from repro.core.advance import BroadcastState
+
+        topology = _line(5)
+        state = BroadcastState(topology, frozenset({0}), time=1)
+        with pytest.raises(RuntimeError, match="prepare"):
+            ExactPolicy().select_advance(state)
+
+    def test_plan_exposed_after_first_decision(self):
+        topology = _line(5)
+        policy = BranchAndBoundPolicy()
+        assert policy.plan is None
+        result = run_broadcast(topology, 0, policy)
+        assert policy.plan is not None
+        assert policy.plan.backend == "branch-and-bound"
+        assert result.latency == policy.plan.latency
+
+    @pytest.mark.parametrize("make_policy", [ExactPolicy, BranchAndBoundPolicy])
+    def test_rejected_for_lossy_links(self, make_policy):
+        topology = _line(5)
+        with pytest.raises(ValueError, match="cannot run over lossy links"):
+            run_broadcast(
+                topology,
+                0,
+                make_policy(),
+                link_model=IndependentLossLinks(0.2, seed=1),
+            )
+
+    @pytest.mark.parametrize("make_policy", [ExactPolicy, BranchAndBoundPolicy])
+    def test_rejected_for_multi_source(self, make_policy):
+        topology = _line(6)
+        with pytest.raises(ValueError, match="solver registry"):
+            run_broadcast(topology, [0, 5], make_policy())
+
+
+class TestSolverRegistry:
+    def test_names_match_catalog_and_registry(self):
+        assert solver_names() == tuple(SOLVER_TIERS)
+        assert [name for name, _ in solver_catalog()] == list(solver_names())
+        assert set(solver_names()) == {
+            "exact", "branch-and-bound", "17-approx", "26-approx", "heuristic"
+        }
+
+    def test_strongest_guarantee_first(self):
+        guarantees = [tier.guarantee for tier in SOLVER_TIERS.values()]
+        assert guarantees[:2] == ["optimal", "optimal"]
+        assert guarantees[-1] == "heuristic"
+
+    def test_exact_tiers_carry_an_instance_limit(self):
+        for tier in SOLVER_TIERS.values():
+            if tier.guarantee == "optimal":
+                assert tier.max_nodes is not None
+            else:
+                assert tier.max_nodes is None
+
+    def test_factories_realise_the_tier(self):
+        for name, tier in SOLVER_TIERS.items():
+            policy = tier.factory()
+            # The heuristic tier is the paper's E-model already present in
+            # every line-up; every other tier records under its own name.
+            expected = "E-model" if name == "heuristic" else name
+            assert policy.name == expected
+            assert policy.loss_tolerant == tier.loss_tolerant
+
+    def test_only_the_heuristic_tier_spans_the_loss_axis(self):
+        lossy = [n for n, tier in SOLVER_TIERS.items() if tier.loss_tolerant]
+        assert lossy == ["heuristic"]
+
+    def test_system_support_matches_the_baselines(self):
+        assert SOLVER_TIERS["17-approx"].systems == ("duty",)
+        assert SOLVER_TIERS["26-approx"].systems == ("sync",)
+        for name in ("exact", "branch-and-bound", "heuristic"):
+            assert SOLVER_TIERS[name].systems == ("sync", "duty")
