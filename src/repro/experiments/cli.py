@@ -236,7 +236,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=sorted(ENGINE_BACKENDS),
         default=None,
-        help="simulation backend (default: reference; both are bit-identical)",
+        help="simulation backend (default: reference; all are bit-identical)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "lane cap per stacked batch of the batched engine's stripe "
+            "executor (0 = whole stripe at once; ignored by other engines)"
+        ),
     )
     parser.add_argument(
         "--loss",
@@ -383,6 +393,8 @@ def _config_from_args(args: argparse.Namespace) -> SweepConfig:
         config = dataclasses.replace(config, workers=args.workers)
     if args.engine is not None:
         config = dataclasses.replace(config, engine=args.engine)
+    if args.batch is not None:
+        config = dataclasses.replace(config, batch=args.batch)
     if args.scenario is not None:
         config = dataclasses.replace(config, scenario=args.scenario)
     if args.duty_model is not None:

@@ -35,8 +35,13 @@ contract has three legs:
 ``run_sweep(..., workers=N)`` fans the cells out over a process pool
 (``workers=0`` means one per CPU); ``engine="vectorized"`` switches every
 broadcast (and its validation) to the numpy bitset backend, which is
-trace-identical to the reference engine — including over lossy links.  Any
-combination of ``(scenario, duty_model, link_model, engine, workers)``
+trace-identical to the reference engine — including over lossy links.
+``engine="batched"`` goes one step further: the runner groups the missing
+cells into same-node-count *stripes* and executes every broadcast of a
+stripe as one lane of the stacked kernel (:mod:`repro.sim.batched`), with
+``config.batch`` capping the lanes per stacked batch; multi-source and
+exact-solver grids bypass the stripes and run per-cell.  Any combination
+of ``(scenario, duty_model, link_model, engine, workers, batch)``
 therefore changes *what* is simulated or *how fast*, never the records'
 reproducibility.
 
@@ -57,7 +62,7 @@ import functools
 import multiprocessing
 import os
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 from repro.baselines.approx17 import Approx17Policy
@@ -68,6 +73,7 @@ from repro.experiments.config import SweepConfig
 from repro.network.deployment import DeploymentConfig, deploy_uniform
 from repro.network.sources import select_sources
 from repro.scenarios import generate_scenario
+from repro.sim.batched import BroadcastTask, run_batched
 from repro.sim.broadcast import run_broadcast
 from repro.sim.energy import energy_of_broadcast
 from repro.sim.links import build_link_model
@@ -343,14 +349,35 @@ class SweepCell:
     policies: tuple[tuple[str, PolicyFactory], ...] | None = None
 
 
-def _run_cell(cell: SweepCell) -> list[RunRecord]:
-    """Execute one sweep cell; the unit of work of the process pool."""
+@dataclass(frozen=True)
+class _CellSetup:
+    """Everything a cell's broadcasts share, reproduced from its seed.
+
+    The deterministic half of a cell's work (deployment, wake-up schedule,
+    link model, source placement) factored out of :func:`_run_cell` so the
+    batched stripe executor (:func:`_run_stripe`) prepares many cells and
+    hands all their broadcasts to :func:`repro.sim.batched.run_batched` in
+    one call — the records stay bit-identical because the setup *is* the
+    per-cell one.
+    """
+
+    policies: tuple[tuple[str, PolicyFactory], ...]
+    seed: int
+    topology: object
+    source: int
+    sources: tuple[int, ...]
+    schedule: object
+    link_model: object
+    eccentricity: int
+
+
+def _prepare_cell(cell: SweepCell) -> _CellSetup:
+    """Reproduce one cell's deployment, schedule, link model and sources."""
     config = cell.config
     if cell.policies is None:
         policies: Mapping[str, PolicyFactory] = default_policies(config, cell.system)
     else:
         policies = dict(cell.policies)
-    area = config.area_side * config.area_side
     seed = derive_seed(
         config.seed, cell.system, cell.rate, cell.num_nodes, cell.repetition
     )
@@ -391,6 +418,7 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
     # "multi-source" split) so records stay bit-identical for any worker
     # count and engine.  k = 1 keeps the original single-source code path.
     n_sources = config.n_sources
+    sources = (source,)
     if n_sources > 1:
         sources = select_sources(
             topology,
@@ -400,63 +428,137 @@ def _run_cell(cell: SweepCell) -> list[RunRecord]:
             area_side=config.area_side,
             anchor=source,
         )
+    return _CellSetup(
+        policies=tuple(policies.items()),
+        seed=seed,
+        topology=topology,
+        source=source,
+        sources=tuple(sources),
+        schedule=schedule,
+        link_model=link_model,
+        eccentricity=eccentricity,
+    )
 
+
+def _cell_record(
+    cell: SweepCell,
+    setup: _CellSetup,
+    name: str,
+    trace,
+    message_latencies: Sequence[int],
+) -> RunRecord:
+    """Build the :class:`RunRecord` of one (cell, policy) broadcast."""
+    config = cell.config
+    energy = energy_of_broadcast(setup.topology, trace)
+    return RunRecord(
+        policy=name,
+        system=cell.system,
+        rate=cell.rate if cell.system == "duty" else 1,
+        scenario=config.scenario,
+        duty_model=config.duty_model if cell.system == "duty" else "uniform",
+        link_model=config.link_model,
+        loss_probability=config.loss_probability,
+        num_nodes=cell.num_nodes,
+        density=cell.num_nodes / (config.area_side * config.area_side),
+        repetition=cell.repetition,
+        seed=setup.seed,
+        source=setup.source,
+        eccentricity=setup.eccentricity,
+        latency=trace.latency,
+        end_time=trace.end_time,
+        num_advances=trace.num_advances,
+        total_transmissions=trace.total_transmissions,
+        retransmissions=trace.retransmissions,
+        n_sources=config.n_sources,
+        source_placement=config.source_placement,
+        mean_message_latency=sum(message_latencies) / len(message_latencies),
+        max_message_latency=max(message_latencies),
+        tx_energy=energy.transmission_energy,
+        rx_energy=energy.reception_energy,
+        idle_energy=energy.idle_energy,
+        total_energy=energy.total,
+    )
+
+
+def _run_cell(cell: SweepCell) -> list[RunRecord]:
+    """Execute one sweep cell; the unit of work of the process pool."""
+    config = cell.config
+    setup = _prepare_cell(cell)
+    n_sources = config.n_sources
     records: list[RunRecord] = []
-    for name, factory in policies.items():
+    for name, factory in setup.policies:
         if n_sources == 1:
             trace = run_broadcast(
-                topology,
-                source,
+                setup.topology,
+                setup.source,
                 factory(),
-                schedule=schedule,
+                schedule=setup.schedule,
                 align_start=cell.system == "duty",
                 engine=cell.engine,
-                link_model=link_model,
+                link_model=setup.link_model,
             )
             message_latencies: tuple[int, ...] = (trace.latency,)
         else:
             trace = run_broadcast(
-                topology,
-                list(sources),
+                setup.topology,
+                list(setup.sources),
                 [factory() for _ in range(n_sources)],
-                schedule=schedule,
+                schedule=setup.schedule,
                 align_start=cell.system == "duty",
                 engine=cell.engine,
-                link_model=link_model,
+                link_model=setup.link_model,
             )
             message_latencies = trace.per_message_latency
-        energy = energy_of_broadcast(topology, trace)
-        records.append(
-            RunRecord(
-                policy=name,
-                system=cell.system,
-                rate=cell.rate if cell.system == "duty" else 1,
-                scenario=config.scenario,
-                duty_model=config.duty_model if cell.system == "duty" else "uniform",
-                link_model=config.link_model,
-                loss_probability=config.loss_probability,
-                num_nodes=cell.num_nodes,
-                density=cell.num_nodes / area,
-                repetition=cell.repetition,
-                seed=seed,
-                source=source,
-                eccentricity=eccentricity,
-                latency=trace.latency,
-                end_time=trace.end_time,
-                num_advances=trace.num_advances,
-                total_transmissions=trace.total_transmissions,
-                retransmissions=trace.retransmissions,
-                n_sources=n_sources,
-                source_placement=config.source_placement,
-                mean_message_latency=sum(message_latencies) / len(message_latencies),
-                max_message_latency=max(message_latencies),
-                tx_energy=energy.transmission_energy,
-                rx_energy=energy.reception_energy,
-                idle_energy=energy.idle_energy,
-                total_energy=energy.total,
-            )
-        )
+        records.append(_cell_record(cell, setup, name, trace, message_latencies))
     return records
+
+
+def _stripe_eligible(config: SweepConfig) -> bool:
+    """Whether the batched stripe executor can run this sweep's cells.
+
+    Stripes stack *single-source* broadcasts; multi-source cells go through
+    the engines' ``run_multi`` path instead.  Exact solver tiers are also
+    left on the per-cell path: their per-policy ``prepare`` dominates the
+    cell (branch-and-bound over the whole instance), so stacking the slot
+    loops buys nothing and would hold every solved plan alive at once.
+    """
+    return config.n_sources == 1 and config.solver == "heuristic"
+
+
+def _run_stripe(stripe: tuple[SweepCell, ...]) -> list[list[RunRecord]]:
+    """Execute one same-node-count stripe of cells in stacked batches.
+
+    The pool work unit of the ``"batched"`` engine: every (cell, policy)
+    broadcast of the stripe becomes one :class:`~repro.sim.batched.BroadcastTask`
+    lane and :func:`~repro.sim.batched.run_batched` advances them together.
+    Cells are *prepared* exactly as :func:`_run_cell` does (same seeds, same
+    generators) and each lane keeps its own policy, schedule and link-model
+    stream, so the returned records are bit-identical to per-cell execution
+    — the stripe only changes how many slot loops run per numpy dispatch.
+    """
+    setups = [_prepare_cell(cell) for cell in stripe]
+    tasks = [
+        BroadcastTask(
+            setup.topology,
+            setup.source,
+            factory(),
+            schedule=setup.schedule,
+            align_start=cell.system == "duty",
+            link_model=setup.link_model,
+        )
+        for cell, setup in zip(stripe, setups)
+        for _, factory in setup.policies
+    ]
+    batch = stripe[0].config.batch
+    traces = iter(run_batched(tasks, batch=batch, validate=True, prepare=True))
+    results: list[list[RunRecord]] = []
+    for cell, setup in zip(stripe, setups):
+        records = []
+        for name, _ in setup.policies:
+            trace = next(traces)
+            records.append(_cell_record(cell, setup, name, trace, (trace.latency,)))
+        results.append(records)
+    return results
 
 
 def _resolve_workers(workers: int) -> int:
@@ -500,7 +602,13 @@ def run_sweep(
         bit-identical for every worker count: each grid cell derives its
         own RNG stream from the experiment seed and its coordinates.
     engine:
-        Simulation backend override (defaults to ``config.engine``).
+        Simulation backend override (defaults to ``config.engine``).  With
+        ``"batched"`` the runner executes whole same-node-count stripes of
+        missing cells through :func:`repro.sim.batched.run_batched` (one
+        lane per (cell, policy) broadcast, ``config.batch`` lanes per
+        stacked batch); stripes become the pool work units.  Multi-source
+        and exact-solver sweeps fall back to per-cell vectorized execution.
+        Records are bit-identical for every backend and batch size.
     store:
         Persistent :class:`~repro.store.ExperimentStore`.  Every simulated
         cell is written back as it finishes (so an interrupted sweep keeps
@@ -580,8 +688,45 @@ def run_sweep(
             store.put(keys[index], records)
 
     missing = [index for index in range(len(cells)) if index not in per_cell]
-    if missing:
+    if missing and effective_engine == "batched" and _stripe_eligible(config):
+        # Stripe planner: group the missing cells by node count (stacked
+        # lanes need one shape) and run each stripe through the batched
+        # executor.  Stripes — not cells — are the pool work units; the
+        # per-cell store write-back happens here in the parent as each
+        # stripe's records arrive, exactly like the per-cell path.
+        stripes: dict[int, list[int]] = {}
+        for index in missing:
+            stripes.setdefault(cells[index].num_nodes, []).append(index)
+        stripe_indices = list(stripes.values())
+        stripe_cells = [
+            tuple(cells[index] for index in indices) for indices in stripe_indices
+        ]
+        if effective_workers <= 1 or len(stripe_cells) <= 1:
+            stripe_results = map(_run_stripe, stripe_cells)
+            for indices, per_stripe in zip(stripe_indices, stripe_results):
+                for index, records in zip(indices, per_stripe):
+                    _finish(index, records)
+        else:
+            use_fork = (
+                sys.platform.startswith("linux")
+                and "fork" in multiprocessing.get_all_start_methods()
+            )
+            context = multiprocessing.get_context("fork" if use_fork else "spawn")
+            processes = min(effective_workers, len(stripe_cells))
+            with context.Pool(processes=processes) as pool:
+                for indices, per_stripe in zip(
+                    stripe_indices, pool.imap(_run_stripe, stripe_cells, chunksize=1)
+                ):
+                    for index, records in zip(indices, per_stripe):
+                        _finish(index, records)
+    elif missing:
         pending = [cells[index] for index in missing]
+        if effective_engine == "batched":
+            # Stripe-ineligible grid (multi-source or exact solver): run the
+            # cells per-cell on the vectorized engine.  Records are
+            # bit-identical across backends, so the bypass is invisible in
+            # the output (and in the store, which never keys on the engine).
+            pending = [replace(cell, engine="vectorized") for cell in pending]
         if effective_workers <= 1 or len(pending) <= 1:
             for index, cell in zip(missing, pending):
                 _finish(index, _run_cell(cell))

@@ -1,5 +1,11 @@
 """Broadcast simulators: engines, traces, validation and metrics."""
 
+from repro.sim.batched import (
+    BatchedRoundEngine,
+    BatchedSlotEngine,
+    BroadcastTask,
+    run_batched,
+)
 from repro.sim.broadcast import ENGINE_BACKENDS, run_broadcast
 from repro.sim.energy import EnergyModel, EnergyReport, energy_of_broadcast
 from repro.sim.engine import RoundEngine, SimulationTimeout, SlotEngine
@@ -19,6 +25,7 @@ from repro.sim.metrics import (
 )
 from repro.sim.render import render_schedule_timeline, render_topology_ascii
 from repro.sim.replay import ReplayPolicy
+from repro.sim.streaming import StreamSummary, stream_broadcast
 from repro.sim.trace import BroadcastResult, MultiBroadcastResult
 from repro.sim.unreliable import (
     LossyRoundEngine,
@@ -35,8 +42,11 @@ from repro.sim.validation import (
 )
 
 __all__ = [
+    "BatchedRoundEngine",
+    "BatchedSlotEngine",
     "BroadcastMetrics",
     "BroadcastResult",
+    "BroadcastTask",
     "ENGINE_BACKENDS",
     "EnergyModel",
     "EnergyReport",
@@ -55,6 +65,7 @@ __all__ = [
     "ScheduleViolation",
     "SimulationTimeout",
     "SlotEngine",
+    "StreamSummary",
     "assert_valid",
     "assert_valid_multi",
     "build_link_model",
@@ -64,8 +75,10 @@ __all__ = [
     "reliability_sweep",
     "render_schedule_timeline",
     "render_topology_ascii",
+    "run_batched",
     "run_broadcast",
     "run_lossy_broadcast",
+    "stream_broadcast",
     "validate_broadcast",
     "validate_multi_broadcast",
 ]

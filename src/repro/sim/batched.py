@@ -1,0 +1,507 @@
+"""Batched multi-cell broadcast execution (the ``engine="batched"`` backend).
+
+A sweep grid is thousands of *independent* broadcasts, and the vectorized
+engine still pays Python-level numpy dispatch per advance per broadcast.
+:func:`run_batched` stacks many same-size broadcasts ("lanes") and advances
+all of them together: the per-advance interference kernels — hear counts,
+conflict tests, receiver computation, frontier-degree updates — run as a
+single gather + matmul over an ``(L, n, n)`` adjacency tensor
+(:func:`repro.network.bitset.stacked_hear_counts_at`) instead of one
+matrix slice per lane, and wake-up activity is answered by per-(node,
+slot) point queries, so hint-driven lanes never materialize an activity
+window at all.
+
+Determinism contract
+--------------------
+Lanes step on **lane-local clocks**: each lane computes its next offered
+slot with exactly the rules of the vectorized kernel
+(:meth:`repro.sim.fast_engine._FastEngineBase._iter_run` — hint
+fast-forward, then the awake-frontier scan for frontier-driven duty-cycle
+policies), the policy's ``select_advance`` runs per lane, and the link
+model's RNG is consumed per lane in the canonical candidate-pair order.
+Batching therefore changes *which numpy calls* carry the work, never which
+slots are offered, which advances are validated, or which uniform draws a
+delivery consumes — the traces are **bit-identical** to per-lane runs for
+any lane grouping, batch size, or engine backend (the conformance suite in
+``tests/property/test_backend_conformance.py`` pins this across the full
+scenario x duty-model x link-model matrix).
+
+:class:`BatchedRoundEngine` / :class:`BatchedSlotEngine` plug the kernel
+into :data:`repro.sim.broadcast.ENGINE_BACKENDS` as ``"batched"``, so
+single broadcasts (and the parity suites) exercise the real stacked kernel
+at ``L = 1``; the sweep runner (:mod:`repro.experiments.runner`) builds
+multi-lane stripes out of whole grid cells.  Multi-source broadcasts fall
+back to the vectorized twin (the engines inherit ``run_multi``): the
+shared-timeline contention loop is inherently cross-message sequential.
+
+Error semantics: lanes fail loudly with the per-lane engines' exact
+messages (invalid advances, sleeping transmitters, conflicts, receiver
+mismatches, :class:`~repro.sim.engine.SimulationTimeout`); one failing lane
+aborts its batch, as a failing cell aborts a sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.advance import Advance, BroadcastState
+from repro.core.policies import SchedulingPolicy
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.bitset import (
+    BitsetTopology,
+    stacked_adjacency,
+    stacked_hear_counts_at,
+    stacked_receivers,
+)
+from repro.network.topology import WSNTopology
+from repro.sim.engine import SimulationTimeout
+from repro.sim.fast_engine import (
+    FastRoundEngine,
+    FastSlotEngine,
+    _FrontierScan,
+    _window_for,
+)
+from repro.sim.links import LinkModel, ReliableLinks
+from repro.sim.trace import BroadcastResult
+from repro.sim.validation import assert_valid
+from repro.utils.validation import require
+
+__all__ = [
+    "BroadcastTask",
+    "run_batched",
+    "BatchedRoundEngine",
+    "BatchedSlotEngine",
+]
+
+
+@dataclass
+class BroadcastTask:
+    """One single-source broadcast to execute as a lane of a batch.
+
+    Mirrors the keyword surface of :func:`repro.sim.broadcast.run_broadcast`
+    (single-source form): the same task parameters produce the bit-identical
+    trace through any backend.  ``policy`` is consumed (prepared and run) by
+    the batch — pass a fresh instance per task.
+    """
+
+    topology: WSNTopology
+    source: int
+    policy: SchedulingPolicy
+    schedule: WakeupSchedule | None = None
+    start_time: int = 1
+    align_start: bool = False
+    max_time: int | None = None
+    link_model: LinkModel | None = None
+
+
+class _Lane:
+    """Per-broadcast state of one batched lane.
+
+    Holds exactly the scalars and Python-side sets of the vectorized
+    kernel's slot loop; the boolean/stacked state (coverage, uncovered
+    degrees, adjacency) lives in the owning :class:`_LaneBatch` rows.
+    """
+
+    __slots__ = (
+        "row",
+        "topology",
+        "view",
+        "policy",
+        "schedule",
+        "link",
+        "link_state",
+        "source",
+        "start_time",
+        "time",
+        "end_time",
+        "limit",
+        "covered",
+        "covered_count",
+        "num_nodes",
+        "check_conflicts",
+        "skip_idle",
+        "hint",
+        "advances",
+        "result",
+        "frontier_idx",
+        "window",
+        "scan",
+    )
+
+    def __init__(self, task: BroadcastTask, *, prepare: bool) -> None:
+        topology = task.topology
+        link = ReliableLinks() if task.link_model is None else task.link_model
+        policy = task.policy
+        if not link.lossless and not getattr(policy, "loss_tolerant", True):
+            raise ValueError(
+                f"policy {policy.name!r} replays a fixed plan that assumes "
+                "reliable delivery and cannot run over lossy links; pick "
+                "a loss-tolerant tier from the solver registry "
+                "(repro.solvers.SOLVER_TIERS, --list-solvers) or a "
+                "frontier scheduler (OPT, G-OPT, E-model, largest-first) "
+                "for the loss axis"
+            )
+        if prepare:
+            policy.prepare(topology, task.schedule, task.source)
+        # The per-lane Fast engine computes the default time limit (and
+        # raises the constructor-time errors: unknown source, schedule not
+        # covering the topology) so batched limits — and failure modes —
+        # can never drift from the per-cell backends.
+        require(task.source in topology, f"unknown source node {task.source}")
+        start_time = task.start_time
+        if task.schedule is None:
+            engine = FastRoundEngine(topology, link_model=link)
+            max_time = (
+                engine._default_max_rounds(task.source)
+                if task.max_time is None
+                else task.max_time
+            )
+        else:
+            engine = FastSlotEngine(topology, task.schedule, link_model=link)
+            if task.align_start:
+                start_time = task.schedule.next_active_slot(task.source, start_time)
+            max_time = (
+                engine._default_max_slots(task.source)
+                if task.max_time is None
+                else task.max_time
+            )
+        require(start_time >= 1, "start_time is 1-based")
+
+        self.topology = topology
+        self.view: BitsetTopology = engine._view
+        self.policy = policy
+        self.schedule = task.schedule
+        self.link = link
+        self.link_state = None if link.lossless else link.make_state()
+        self.source = task.source
+        self.start_time = start_time
+        self.time = start_time
+        self.end_time = start_time - 1
+        self.limit = start_time + max_time
+        self.covered: frozenset[int] = frozenset({task.source})
+        self.covered_count = 1
+        self.num_nodes = self.view.num_nodes
+        self.check_conflicts = getattr(policy, "interference_free", True)
+        self.skip_idle = task.schedule is not None and getattr(
+            policy, "frontier_driven", False
+        )
+        self.hint = policy.next_decision_slot
+        self.advances: list[Advance] = []
+        self.result: BroadcastResult | None = None
+        # Frontier bookkeeping, dirty (None) whenever coverage grows; the
+        # window/scan pair is created lazily on the first idle-slot probe,
+        # so hint-driven lanes never materialize an activity window.
+        self.frontier_idx: np.ndarray | None = None
+        self.window = None
+        self.scan: _FrontierScan | None = None
+
+    def finish(self) -> None:
+        self.result = BroadcastResult(
+            policy_name=self.policy.name,
+            source=self.source,
+            start_time=self.start_time,
+            end_time=max(self.end_time, self.start_time - 1),
+            covered=self.covered,
+            advances=tuple(self.advances),
+            synchronous=self.schedule is None,
+            cycle_rate=1 if self.schedule is None else self.schedule.rate,
+        )
+
+
+class _LaneBatch:
+    """Stacked execution of same-size lanes on lane-local clocks."""
+
+    def __init__(self, lanes: Sequence[_Lane]) -> None:
+        self.lanes = list(lanes)
+        n = self.lanes[0].num_nodes
+        self.n = n
+        num_lanes = len(self.lanes)
+        self.adjacency = stacked_adjacency([lane.view for lane in self.lanes])
+        self.covered = np.zeros((num_lanes, n), dtype=bool)
+        # Uncovered-degree rows exist only for the frontier scan of
+        # duty-cycle idle-slot skipping; a batch with no such lane (all
+        # synchronous, or hint-driven policies) never reads them, so it
+        # skips both the init and the per-advance update kernel.
+        self.track_frontier = any(lane.skip_idle for lane in self.lanes)
+        # float32 like the kernel's counts (exact small integers), so the
+        # per-advance degree update is a single in-place subtract.
+        self.uncovered_degree = (
+            np.empty((num_lanes, n), dtype=np.float32) if self.track_frontier else None
+        )
+        for row, lane in enumerate(self.lanes):
+            lane.row = row
+            source_row = lane.view.index_of(lane.source)
+            self.covered[row, source_row] = True
+            if self.track_frontier:
+                # hear_counts of the lone source row is its adjacency row.
+                self.uncovered_degree[row] = (
+                    lane.view.degrees - self.adjacency[row, source_row]
+                )
+
+    # ------------------------------------------------------------------
+    def _compute_offer(self, lane: _Lane) -> None:
+        """Advance ``lane.time`` to its next offered slot.
+
+        Line-for-line twin of the vectorized kernel's hint fast-forward and
+        awake-frontier scan, so the offered-slot sequence of every lane is
+        identical to its per-lane run.
+        """
+        time = lane.time
+        hinted = lane.hint(time)
+        if hinted is not None and hinted > time:
+            time = hinted
+        if lane.skip_idle and hinted != time and time <= lane.limit:
+            if lane.frontier_idx is None:
+                lane.frontier_idx = np.flatnonzero(
+                    self.covered[lane.row] & (self.uncovered_degree[lane.row] > 0)
+                )
+                lane.scan = None
+            if lane.window is None:
+                lane.window = _window_for(lane.schedule, lane.view)
+            if not lane.window.active_rows(lane.frontier_idx, time).any():
+                if lane.scan is None:
+                    lane.scan = _FrontierScan(lane.window, lane.frontier_idx, time)
+                next_slot = lane.scan.next_active(time, lane.limit)
+                time = lane.limit + 1 if next_slot is None else next_slot
+        if time > lane.limit:
+            raise SimulationTimeout(
+                f"broadcast did not complete by time {lane.limit} "
+                f"(covered {lane.covered_count}/{lane.num_nodes} nodes); the policy "
+                "or the wake-up schedule is not making progress"
+            )
+        lane.time = time
+
+    # ------------------------------------------------------------------
+    def _apply(self, proposals: list[tuple[_Lane, Advance]]) -> None:
+        """Validate and apply one advance per proposing lane, batched."""
+        n = self.n
+        checked: list[tuple[_Lane, Advance, np.ndarray]] = []
+        tx_flat_parts: list[np.ndarray] = []
+        for lane, advance in proposals:
+            if advance.time != lane.time:
+                raise ValueError(
+                    f"policy returned an advance for time {advance.time}, "
+                    f"expected {lane.time}"
+                )
+            not_covered = advance.color - lane.covered
+            if not_covered:
+                raise ValueError(
+                    f"policy scheduled transmitters that do not hold the message: "
+                    f"{sorted(not_covered)}"
+                )
+            tx_idx = lane.view.indices(advance.color)
+            if lane.schedule is not None:
+                asleep = [
+                    u
+                    for u in advance.color
+                    if not lane.schedule.is_active(u, lane.time)
+                ]
+                if asleep:
+                    raise ValueError(
+                        f"policy scheduled sleeping transmitters at slot "
+                        f"{lane.time}: {sorted(asleep)}"
+                    )
+            tx_flat_parts.append(lane.row * n + tx_idx)
+            checked.append((lane, advance, tx_idx))
+        lane_rows, tx_cols = np.divmod(np.concatenate(tx_flat_parts), n)
+        counts = stacked_hear_counts_at(self.adjacency, lane_rows, tx_cols)
+        conflicts, expected = stacked_receivers(counts, self.covered)
+        expected_counts = expected.sum(axis=1).tolist()
+
+        # Per-lane validation order matches the per-lane kernel: conflicts
+        # before the receiver-equality check.
+        recorded_rows: list[np.ndarray | None] = []
+        for lane, advance, tx_idx in checked:
+            if lane.check_conflicts and conflicts[lane.row]:
+                pairs = lane.view.conflicting_pairs(tx_idx, self.covered[lane.row])
+                raise ValueError(
+                    f"policy scheduled conflicting transmitters at time "
+                    f"{lane.time}: {pairs}"
+                )
+            try:
+                recorded_idx = lane.view.indices(advance.receivers)
+            except KeyError:
+                recorded_idx = None
+            if (
+                recorded_idx is None
+                or len(recorded_idx) != expected_counts[lane.row]
+                or not expected[lane.row, recorded_idx].all()
+            ):
+                raise ValueError(
+                    "advance.receivers does not match the uncovered neighbours "
+                    f"of its transmitters at time {lane.time}"
+                )
+            recorded_rows.append(recorded_idx)
+
+        delivered_flat_parts: list[np.ndarray] = []
+        for (lane, advance, tx_idx), recorded_idx in zip(checked, recorded_rows):
+            if lane.link.lossless:
+                recorded = advance
+                delivered = advance.receivers
+                delivered_idx = recorded_idx
+            else:
+                delivered_bool = lane.link.deliver_bool(
+                    lane.link_state,
+                    lane.view,
+                    tx_idx,
+                    expected[lane.row],
+                    self.covered[lane.row],
+                )
+                delivered = lane.view.nodes_from_bool(delivered_bool)
+                delivered_idx = np.flatnonzero(delivered_bool)
+                recorded = dataclasses.replace(
+                    advance,
+                    receivers=delivered,
+                    intended_receivers=advance.receivers,
+                )
+            if delivered:
+                delivered_flat_parts.append(lane.row * n + delivered_idx)
+                lane.covered = lane.covered | delivered
+                lane.covered_count += len(delivered)
+                lane.end_time = lane.time
+                lane.frontier_idx = None
+            lane.advances.append(recorded)
+        if delivered_flat_parts:
+            delivered_flat = np.concatenate(delivered_flat_parts)
+            self.covered.reshape(-1)[delivered_flat] = True
+            if self.track_frontier:
+                self.uncovered_degree -= stacked_hear_counts_at(
+                    self.adjacency, *np.divmod(delivered_flat, n)
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        active = []
+        for lane in self.lanes:
+            if lane.covered_count == lane.num_nodes:
+                lane.finish()
+            else:
+                active.append(lane)
+        while active:
+            for lane in active:
+                self._compute_offer(lane)
+            proposals: list[tuple[_Lane, Advance]] = []
+            for lane in active:
+                state = BroadcastState.for_engine(
+                    lane.topology, lane.covered, lane.time, lane.schedule
+                )
+                advance = lane.policy.select_advance(state)
+                if advance is not None:
+                    proposals.append((lane, advance))
+            if proposals:
+                self._apply(proposals)
+            still_active = []
+            for lane in active:
+                lane.time += 1
+                if lane.covered_count == lane.num_nodes:
+                    lane.finish()
+                else:
+                    still_active.append(lane)
+            active = still_active
+
+
+def run_batched(
+    tasks: Sequence[BroadcastTask],
+    *,
+    batch: int = 0,
+    validate: bool = True,
+    prepare: bool = True,
+) -> list[BroadcastResult]:
+    """Execute many independent broadcasts through the stacked kernel.
+
+    Tasks are grouped by node count (stacking requires one shape per
+    batch) and each group is split into chunks of at most ``batch`` lanes
+    (``0`` batches a whole group at once); results come back in task
+    order.  Lanes are independent, so any grouping or chunking produces
+    the bit-identical traces — ``batch`` is purely a memory/throughput
+    knob (an ``(L, n, n)`` uint8 tensor per chunk).
+
+    ``validate`` re-checks every trace against the network model (the
+    vectorized validation backend), exactly like
+    :func:`~repro.sim.broadcast.run_broadcast`; ``prepare=False`` skips the
+    policies' ``prepare`` hook for callers that already invoked it.
+    """
+    require(batch >= 0, "batch must be >= 0 (0 = one batch per node count)")
+    task_list = list(tasks)
+    results: list[BroadcastResult | None] = [None] * len(task_list)
+    groups: dict[int, list[int]] = {}
+    for index, task in enumerate(task_list):
+        groups.setdefault(task.topology.num_nodes, []).append(index)
+    for members in groups.values():
+        chunk_size = batch if batch > 0 else len(members)
+        for begin in range(0, len(members), chunk_size):
+            chunk = members[begin : begin + chunk_size]
+            lanes = [_Lane(task_list[index], prepare=prepare) for index in chunk]
+            _LaneBatch(lanes).run()
+            for index, lane in zip(chunk, lanes):
+                results[index] = lane.result
+    if validate:
+        for task, result in zip(task_list, results):
+            link = task.link_model
+            assert_valid(
+                task.topology,
+                result,
+                schedule=task.schedule,
+                backend="vectorized",
+                lossy=link is not None and not link.lossless,
+            )
+    return [result for result in results if result is not None]
+
+
+class BatchedRoundEngine(FastRoundEngine):
+    """Round-based engine routing through the stacked kernel at ``L = 1``.
+
+    Inherits the vectorized engine's constructor, default limits and
+    multi-source ``run_multi`` (multi-source contention is cross-message
+    sequential, so batching buys nothing there); single-source ``run``
+    executes the real batched kernel so that every parity/conformance
+    suite exercises the same code path sweeps use.
+    """
+
+    def run(
+        self,
+        policy: SchedulingPolicy,
+        source: int,
+        *,
+        start_time: int = 1,
+        max_rounds: int | None = None,
+    ) -> BroadcastResult:
+        task = BroadcastTask(
+            topology=self.topology,
+            source=source,
+            policy=policy,
+            schedule=None,
+            start_time=start_time,
+            max_time=max_rounds,
+            link_model=self.link_model,
+        )
+        return run_batched([task], validate=False, prepare=False)[0]
+
+
+class BatchedSlotEngine(FastSlotEngine):
+    """Duty-cycle engine routing through the stacked kernel at ``L = 1``."""
+
+    def run(
+        self,
+        policy: SchedulingPolicy,
+        source: int,
+        *,
+        start_time: int = 1,
+        align_start: bool = False,
+        max_slots: int | None = None,
+    ) -> BroadcastResult:
+        task = BroadcastTask(
+            topology=self.topology,
+            source=source,
+            policy=policy,
+            schedule=self.schedule,
+            start_time=start_time,
+            align_start=align_start,
+            max_time=max_slots,
+            link_model=self.link_model,
+        )
+        return run_batched([task], validate=False, prepare=False)[0]

@@ -31,6 +31,7 @@ from typing import Sequence
 from repro.core.policies import SchedulingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.topology import WSNTopology
+from repro.sim.batched import BatchedRoundEngine, BatchedSlotEngine
 from repro.sim.engine import RoundEngine, SlotEngine
 from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
 from repro.sim.links import LinkModel, ReliableLinks
@@ -43,10 +44,14 @@ __all__ = ["run_broadcast", "ENGINE_BACKENDS"]
 #: ``(round_engine_cls, slot_engine_cls)`` per backend name.  Both classes
 #: of a backend accept ``link_model=`` as their last constructor argument
 #: and implement the single-source ``run`` and the multi-source
-#: ``run_multi`` entry points.
+#: ``run_multi`` entry points.  ``"batched"`` routes single-source runs
+#: through the stacked multi-lane kernel of :mod:`repro.sim.batched` (and
+#: inherits the vectorized multi-source path); the sweep runner uses the
+#: same kernel to execute whole grid stripes at once.
 ENGINE_BACKENDS = {
     "reference": (RoundEngine, SlotEngine),
     "vectorized": (FastRoundEngine, FastSlotEngine),
+    "batched": (BatchedRoundEngine, BatchedSlotEngine),
 }
 
 

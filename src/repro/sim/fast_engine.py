@@ -251,6 +251,44 @@ class _FastEngineBase:
         limit: int,
         schedule: WakeupSchedule | None,
     ) -> BroadcastResult:
+        """Materialize :meth:`_iter_run` into a full :class:`BroadcastResult`."""
+        stepper = self._iter_run(policy, source, start_time, limit, schedule)
+        advances: list[Advance] = []
+        while True:
+            try:
+                advances.append(next(stepper))
+            except StopIteration as done:
+                covered, end_time = done.value
+                break
+        return BroadcastResult(
+            policy_name=policy.name,
+            source=source,
+            start_time=start_time,
+            end_time=max(end_time, start_time - 1),
+            covered=covered,
+            advances=tuple(advances),
+            synchronous=schedule is None,
+            cycle_rate=1 if schedule is None else schedule.rate,
+        )
+
+    def _iter_run(
+        self,
+        policy: SchedulingPolicy,
+        source: int,
+        start_time: int,
+        limit: int,
+        schedule: WakeupSchedule | None,
+    ):
+        """Generator core of the single-source kernel: yields each recorded
+        advance the moment it is applied, and returns ``(covered, end_time)``
+        when coverage completes (via ``StopIteration.value``).
+
+        This is the streaming entry point (:mod:`repro.sim.streaming`): the
+        engine holds no advance list, so a consumer that does not accumulate
+        the yielded advances runs in memory independent of the trace length.
+        :meth:`_run` materializes it; both paths execute the identical slot
+        loop, so streamed and materialized traces are bit-identical.
+        """
         require(source in self.topology, f"unknown source node {source}")
         require(start_time >= 1, "start_time is 1-based")
         view = self._view
@@ -277,7 +315,6 @@ class _FastEngineBase:
         frontier_idx: np.ndarray | None = None
         scan: _FrontierScan | None = None
 
-        advances: list[Advance] = []
         time = start_time
         end_time = start_time - 1
 
@@ -343,19 +380,10 @@ class _FastEngineBase:
                         )
                         frontier_idx = None
                     end_time = time
-                advances.append(recorded)
+                yield recorded
             time += 1
 
-        return BroadcastResult(
-            policy_name=policy.name,
-            source=source,
-            start_time=start_time,
-            end_time=max(end_time, start_time - 1),
-            covered=covered,
-            advances=tuple(advances),
-            synchronous=schedule is None,
-            cycle_rate=1 if schedule is None else schedule.rate,
-        )
+        return covered, end_time
 
     def _check_multi_inputs(
         self, policies: Sequence[SchedulingPolicy], sources: Sequence[int]

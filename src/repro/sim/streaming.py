@@ -1,0 +1,165 @@
+"""Streaming broadcast execution: per-advance emission, O(1) trace memory.
+
+A materialized :class:`~repro.sim.trace.BroadcastResult` holds every advance
+of the broadcast.  For the paper's grids (50-300 nodes) that is nothing; for
+very large deployments the advance list — each entry carrying transmitter
+and receiver frozensets — becomes the dominant allocation of a run, well
+beyond the ``(n, n)`` adjacency view.  :func:`stream_broadcast` runs the
+same vectorized slot loop as ``run_broadcast`` but hands each recorded
+advance to a caller-supplied ``sink`` the moment it is applied and keeps
+**no advance list at all**: once the sink returns, the engine drops its
+reference, so a sink that aggregates (counts, histograms, an on-disk
+writer) runs a 100k-node broadcast in memory proportional to the network,
+not to the trace.
+
+The stream is produced by the engine's ``_iter_run`` generator — the same
+code path ``run_broadcast`` materializes — so the sequence of advances (and
+the returned :class:`StreamSummary`'s metrics) is bit-identical to the
+materialized trace's.  The memory-regression test in
+``tests/unit/test_streaming.py`` pins the no-materialization property with
+weak references: after each sink call returns, the advance must be
+collectable.
+
+Only the numpy backends stream (``"vectorized"`` and ``"batched"``, which
+share the generator); the reference engine is the materialized oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.policies import SchedulingPolicy
+from repro.core.advance import Advance
+from repro.dutycycle.schedule import WakeupSchedule
+from repro.network.topology import WSNTopology
+from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
+from repro.sim.links import LinkModel, ReliableLinks
+from repro.utils.validation import require
+
+__all__ = ["StreamSummary", "stream_broadcast"]
+
+#: Backends whose engines expose the streaming generator.
+STREAMING_BACKENDS = ("vectorized", "batched")
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Aggregate outcome of one streamed broadcast (no advance list).
+
+    Carries exactly the scalar metrics of a materialized
+    :class:`~repro.sim.trace.BroadcastResult` — same definitions, same
+    values — plus the covered-node count instead of the covered set.
+    """
+
+    policy_name: str
+    source: int
+    start_time: int
+    end_time: int
+    covered_count: int
+    num_advances: int
+    total_transmissions: int
+    failed_deliveries: int
+    synchronous: bool
+    cycle_rate: int
+
+    @property
+    def latency(self) -> int:
+        """Elapsed rounds/slots ``t_e - t_s + 1`` (see ``BroadcastResult``)."""
+        return self.end_time - self.start_time + 1
+
+    @property
+    def idle_time(self) -> int:
+        """Rounds/slots in the broadcast window without any transmission."""
+        return self.latency - self.num_advances
+
+
+def stream_broadcast(
+    topology: WSNTopology,
+    source: int,
+    policy: SchedulingPolicy,
+    *,
+    schedule: WakeupSchedule | None = None,
+    start_time: int = 1,
+    align_start: bool = False,
+    max_time: int | None = None,
+    engine: str = "vectorized",
+    link_model: LinkModel | None = None,
+    sink: Callable[[Advance], None] | None = None,
+) -> StreamSummary:
+    """Run one broadcast, streaming each advance to ``sink``.
+
+    The keyword surface mirrors :func:`~repro.sim.broadcast.run_broadcast`
+    (single-source form); ``sink`` receives every recorded advance in
+    chronological order (``None`` discards them, leaving only the summary).
+    The advance sequence and all summary metrics are bit-identical to the
+    materialized ``run_broadcast`` trace of the same parameters.
+
+    Validation is the one deliberate difference: re-checking a trace needs
+    the whole trace, so streamed runs are not re-validated — the engine's
+    own per-advance checks (coverage, awake transmitters, interference,
+    receiver equality) still apply.  Stream into a list and call
+    :func:`~repro.sim.validation.validate_broadcast` to get both.
+    """
+    if engine not in STREAMING_BACKENDS:
+        raise ValueError(
+            f"engine {engine!r} cannot stream; streaming backends: "
+            f"{list(STREAMING_BACKENDS)} (the reference engine materializes "
+            "traces — it is the oracle the streaming kernel is tested against)"
+        )
+    link = ReliableLinks() if link_model is None else link_model
+    if not link.lossless and not getattr(policy, "loss_tolerant", True):
+        raise ValueError(
+            f"policy {policy.name!r} replays a fixed plan that assumes reliable "
+            "delivery and cannot run over lossy links; pick a loss-tolerant "
+            "tier from the solver registry (repro.solvers.SOLVER_TIERS, "
+            "--list-solvers) or a frontier scheduler (OPT, G-OPT, E-model, "
+            "largest-first) for the loss axis"
+        )
+    require(source in topology, f"unknown source node {source}")
+    policy.prepare(topology, schedule, source)
+    if schedule is None:
+        round_engine = FastRoundEngine(topology, link_model=link)
+        limit = start_time + (
+            round_engine._default_max_rounds(source) if max_time is None else max_time
+        )
+        stepper = round_engine._iter_run(policy, source, start_time, limit, None)
+    else:
+        slot_engine = FastSlotEngine(topology, schedule, link_model=link)
+        if align_start:
+            start_time = schedule.next_active_slot(source, start_time)
+        limit = start_time + (
+            slot_engine._default_max_slots(source) if max_time is None else max_time
+        )
+        stepper = slot_engine._iter_run(policy, source, start_time, limit, schedule)
+
+    num_advances = 0
+    total_transmissions = 0
+    failed_deliveries = 0
+    while True:
+        try:
+            advance = next(stepper)
+        except StopIteration as done:
+            covered, end_time = done.value
+            break
+        num_advances += 1
+        total_transmissions += len(advance.color)
+        failed_deliveries += advance.failed_deliveries
+        if sink is not None:
+            sink(advance)
+        # Drop the local reference before the next step so the advance is
+        # collectable as soon as the sink lets go of it.
+        del advance
+
+    return StreamSummary(
+        policy_name=policy.name,
+        source=source,
+        start_time=start_time,
+        end_time=max(end_time, start_time - 1),
+        covered_count=len(covered),
+        num_advances=num_advances,
+        total_transmissions=total_transmissions,
+        failed_deliveries=failed_deliveries,
+        synchronous=schedule is None,
+        cycle_rate=1 if schedule is None else schedule.rate,
+    )

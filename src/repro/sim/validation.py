@@ -73,7 +73,9 @@ def validate_broadcast(
     (the *delivered* subset), and any recorded ``intended_receivers`` must
     equal the expected receivers exactly.
     """
-    if backend == "vectorized":
+    if backend in ("vectorized", "batched"):
+        # The batched executor produces traces bit-identical to the
+        # vectorized kernel, so its validation path is the bitset one.
         return _validate_vectorized(topology, result, schedule, require_complete, lossy)
     if backend != "reference":
         raise ValueError(

@@ -1,12 +1,15 @@
-"""Property: the vectorized backend is bit-identical to the reference engines.
+"""Property: every fast backend is bit-identical to the reference engines.
 
 For random connected UDG topologies, random duty cycles and several
-policies, ``run_broadcast(engine="vectorized")`` must return a
+policies, ``run_broadcast`` under every non-reference entry of
+:data:`~repro.sim.ENGINE_BACKENDS` must return a
 :class:`~repro.sim.trace.BroadcastResult` that compares *equal* to the
 reference engine's — same advances, same times, same coverage — and both
 validators must agree the trace is clean.  This is the correctness oracle
-of the vectorized backend: any drift in interference checking, receiver
-computation, wake-up handling or idle-slot skipping shows up here.
+of the fast backends: any drift in interference checking, receiver
+computation, wake-up handling or idle-slot skipping shows up here.  (The
+deterministic scenario × duty-model × loss matrix lives in
+``test_backend_conformance.py``; this file is the hypothesis-driven half.)
 """
 
 from __future__ import annotations
@@ -20,11 +23,16 @@ from repro.baselines.approx26 import Approx26Policy
 from repro.baselines.flooding import LargestFirstPolicy
 from repro.core.policies import EModelPolicy
 from repro.dutycycle.schedule import WakeupSchedule
-from repro.sim.broadcast import run_broadcast
+from repro.sim.broadcast import ENGINE_BACKENDS, run_broadcast
 from repro.sim.replay import ReplayPolicy
 from repro.sim.validation import validate_broadcast
 
 from .conftest import topologies_with_source
+
+FAST_BACKENDS = sorted(name for name in ENGINE_BACKENDS if name != "reference")
+
+# Cross-backend parity matrices are the backend fast-path selection in CI.
+pytestmark = pytest.mark.slow_property
 
 SYNC_POLICIES = {
     "largest-first": LargestFirstPolicy,
@@ -47,8 +55,9 @@ def test_round_engines_produce_identical_traces(drawn, policy_key):
     topology, source = drawn
     make_policy = SYNC_POLICIES[policy_key]
     reference = run_broadcast(topology, source, make_policy(), engine="reference")
-    vectorized = run_broadcast(topology, source, make_policy(), engine="vectorized")
-    assert reference == vectorized
+    for backend in FAST_BACKENDS:
+        checked = run_broadcast(topology, source, make_policy(), engine=backend)
+        assert checked == reference, f"backend {backend!r} diverged"
 
 
 @settings(max_examples=25)
@@ -66,11 +75,12 @@ def test_slot_engines_produce_identical_traces(drawn, policy_key, rate, schedule
         topology, source, make_policy(), schedule=schedule, align_start=True,
         engine="reference",
     )
-    vectorized = run_broadcast(
-        topology, source, make_policy(), schedule=schedule, align_start=True,
-        engine="vectorized",
-    )
-    assert reference == vectorized
+    for backend in FAST_BACKENDS:
+        checked = run_broadcast(
+            topology, source, make_policy(), schedule=schedule, align_start=True,
+            engine=backend,
+        )
+        assert checked == reference, f"backend {backend!r} diverged"
     assert validate_broadcast(topology, reference, schedule=schedule) == []
     assert (
         validate_broadcast(topology, reference, schedule=schedule, backend="vectorized")
@@ -91,7 +101,7 @@ def test_replay_round_trips_through_both_engines(drawn, rate, schedule_seed):
     trace = run_broadcast(
         topology, source, LargestFirstPolicy(), schedule=schedule, align_start=True
     )
-    for engine in ("reference", "vectorized"):
+    for engine in sorted(ENGINE_BACKENDS):
         replayed = run_broadcast(
             topology,
             source,
@@ -103,7 +113,7 @@ def test_replay_round_trips_through_both_engines(drawn, rate, schedule_seed):
         assert replayed == trace
 
 
-@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.parametrize("engine", sorted(ENGINE_BACKENDS))
 def test_unknown_engine_rejected(engine):
     # Sanity: the valid names work and an invalid one raises.
     import re

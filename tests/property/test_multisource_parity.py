@@ -35,6 +35,9 @@ from repro.sim.links import IndependentLossLinks, ReliableLinks
 from repro.sim.validation import validate_multi_broadcast
 from repro.utils.rng import derive_seed
 
+# Cross-backend parity matrices are the backend fast-path selection in CI.
+pytestmark = pytest.mark.slow_property
+
 PARITY_SCENARIOS = ("uniform", "clustered", "ring")
 DUTY_MODELS = ("uniform", "two-tier")
 SOURCE_COUNTS = (1, 2, 4)

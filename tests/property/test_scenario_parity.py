@@ -24,6 +24,9 @@ from repro.network.deployment import DeploymentConfig
 from repro.scenarios import generate_scenario
 from repro.utils.rng import derive_seed
 
+# Cross-backend parity matrices are the backend fast-path selection in CI.
+pytestmark = pytest.mark.slow_property
+
 PARITY_SCENARIOS = ("clustered", "ring", "grid-holes", "knn")
 POLICIES = {"17-approx": Approx17Policy, "E-model": EModelPolicy}
 

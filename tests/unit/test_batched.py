@@ -1,0 +1,195 @@
+"""Unit tests of the batched multi-lane executor and its stacked kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.flooding import FloodingPolicy, LargestFirstPolicy
+from repro.core.policies import EModelPolicy, GreedyOptPolicy
+from repro.dutycycle.models import build_wakeup_schedule
+from repro.network.bitset import (
+    bitset_view,
+    stacked_adjacency,
+    stacked_hear_counts,
+    stacked_receivers,
+)
+from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.network.topology import WSNTopology
+from repro.sim import (
+    BroadcastTask,
+    ScheduleViolation,
+    run_batched,
+    run_broadcast,
+)
+from repro.sim.links import IndependentLossLinks
+
+
+def _deployment(seed: int = 3, num_nodes: int = 30):
+    config = DeploymentConfig(
+        num_nodes=num_nodes,
+        area_side=26.0,
+        radius=9.0,
+        source_min_ecc=2,
+        source_max_ecc=None,
+    )
+    return deploy_uniform(config=config, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Stacked bitset kernels
+
+
+def _path_topology(n: int) -> WSNTopology:
+    positions = {i: (float(i), 0.0) for i in range(n)}
+    return WSNTopology.from_edges([(i, i + 1) for i in range(n - 1)], positions)
+
+
+def test_stacked_adjacency_stacks_views() -> None:
+    topo = _path_topology(4)
+    views = [bitset_view(topo), bitset_view(topo)]
+    stack = stacked_adjacency(views)
+    assert stack.shape == (2, 4, 4)
+    assert (stack[0] == stack[1]).all()
+    assert stack[0, 0, 1] == 1 and stack[0, 0, 2] == 0
+
+
+def test_stacked_adjacency_rejects_mixed_node_counts() -> None:
+    views = [bitset_view(_path_topology(4)), bitset_view(_path_topology(5))]
+    with pytest.raises(ValueError, match="node count"):
+        stacked_adjacency(views)
+
+
+def test_stacked_hear_counts_and_receivers_hand_example() -> None:
+    # Two lanes over a 4-node path 0-1-2-3.
+    topo = _path_topology(4)
+    stack = stacked_adjacency([bitset_view(topo), bitset_view(topo)])
+    tx = np.zeros((2, 4), dtype=np.uint8)
+    tx[0, 1] = 1  # lane 0: node 1 transmits -> 0 and 2 hear once
+    tx[1, 0] = 1  # lane 1: nodes 0 and 2 transmit -> 1 hears twice (conflict)
+    tx[1, 2] = 1
+    counts = stacked_hear_counts(stack, tx)
+    assert counts[0].tolist() == [1, 0, 1, 0]
+    assert counts[1].tolist() == [0, 2, 0, 1]
+    covered = np.zeros((2, 4), dtype=bool)
+    covered[:, 0] = True  # source covered in both lanes
+    conflicts, receivers = stacked_receivers(counts, covered)
+    assert conflicts.tolist() == [False, True]
+    assert receivers[0].tolist() == [False, False, True, False]
+    assert receivers[1].tolist() == [False, True, False, True]
+
+
+# ---------------------------------------------------------------------------
+# run_batched semantics
+
+
+def test_run_batched_preserves_task_order_and_matches_per_task() -> None:
+    tasks, expected = [], []
+    for seed in (5, 6):
+        topology, source = _deployment(seed=seed)
+        schedule = build_wakeup_schedule(topology.node_ids, rate=4, seed=seed)
+        for factory in (EModelPolicy, LargestFirstPolicy):
+            tasks.append(
+                BroadcastTask(
+                    topology, source, factory(), schedule=schedule, align_start=True
+                )
+            )
+            expected.append(
+                run_broadcast(
+                    topology,
+                    source,
+                    factory(),
+                    schedule=schedule,
+                    align_start=True,
+                    engine="vectorized",
+                )
+            )
+    results = run_batched(tasks, batch=3)
+    assert results == expected
+
+
+def test_run_batched_is_batch_size_invariant() -> None:
+    topology, source = _deployment(seed=9)
+    link = IndependentLossLinks(0.2, seed=9)
+    def make_tasks():
+        return [
+            BroadcastTask(topology, source, factory(), link_model=link)
+            for factory in (EModelPolicy, GreedyOptPolicy, LargestFirstPolicy)
+        ]
+    baseline = run_batched(make_tasks(), batch=0)
+    for batch in (1, 2, 5):
+        assert run_batched(make_tasks(), batch=batch) == baseline
+
+
+def test_run_batched_groups_mixed_node_counts() -> None:
+    """Tasks of different shapes run in one call, grouped internally."""
+    small_topology, small_source = _deployment(seed=4, num_nodes=20)
+    large_topology, large_source = _deployment(seed=4, num_nodes=30)
+    tasks = [
+        BroadcastTask(small_topology, small_source, EModelPolicy()),
+        BroadcastTask(large_topology, large_source, EModelPolicy()),
+        BroadcastTask(small_topology, small_source, LargestFirstPolicy()),
+    ]
+    results = run_batched(tasks)
+    for task, result in zip(tasks, results):
+        assert result == run_broadcast(
+            task.topology, task.source, type(task.policy)(), engine="vectorized"
+        )
+
+
+def test_run_batched_validates_interfering_traces() -> None:
+    topology, source = _deployment(seed=7)
+    task = BroadcastTask(topology, source, FloodingPolicy())
+    with pytest.raises(ScheduleViolation):
+        run_batched([task], validate=True)
+    # The same trace is accepted when validation is off (flooding is not
+    # interference-free by design; the engine itself doesn't reject it).
+    (result,) = run_batched([task], validate=False)
+    assert result.covered == frozenset(topology.node_ids)
+
+
+def test_run_batched_rejects_planned_policies_on_lossy_links() -> None:
+    from repro.baselines.approx26 import Approx26Policy
+
+    topology, source = _deployment(seed=8)
+    task = BroadcastTask(
+        topology,
+        source,
+        Approx26Policy(),
+        link_model=IndependentLossLinks(0.3, seed=1),
+    )
+    with pytest.raises(ValueError, match="cannot run over lossy links"):
+        run_batched([task])
+
+
+def test_run_batched_rejects_unknown_source() -> None:
+    topology, _ = _deployment(seed=2)
+    bogus = max(topology.node_ids) + 1000
+    with pytest.raises(ValueError, match="unknown source node"):
+        run_batched([BroadcastTask(topology, bogus, EModelPolicy())])
+
+
+def test_batched_engine_timeout_message_matches_vectorized() -> None:
+    topology, source = _deployment(seed=12)
+    with pytest.raises(Exception) as batched_err:
+        run_broadcast(
+            topology, source, EModelPolicy(), engine="batched", max_time=1
+        )
+    with pytest.raises(Exception) as vectorized_err:
+        run_broadcast(
+            topology, source, EModelPolicy(), engine="vectorized", max_time=1
+        )
+    assert str(batched_err.value) == str(vectorized_err.value)
+
+
+def test_batched_engine_multi_source_inherits_vectorized_path() -> None:
+    topology, source = _deployment(seed=14)
+    others = sorted(set(topology.node_ids) - {source})
+    sources = [source, others[0]]
+    batched = run_broadcast(
+        topology, sources, EModelPolicy(), engine="batched"
+    )
+    vectorized = run_broadcast(
+        topology, sources, EModelPolicy(), engine="vectorized"
+    )
+    assert batched == vectorized

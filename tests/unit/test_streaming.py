@@ -1,0 +1,140 @@
+"""Streaming execution: trace parity and the no-materialization guarantee."""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import pytest
+
+from repro.baselines.flooding import LargestFirstPolicy
+from repro.core.policies import EModelPolicy
+from repro.dutycycle.models import build_wakeup_schedule
+from repro.network.deployment import DeploymentConfig, deploy_uniform
+from repro.sim import StreamSummary, run_broadcast, stream_broadcast
+from repro.sim.links import IndependentLossLinks
+from repro.sim.streaming import STREAMING_BACKENDS
+
+
+def _deployment(seed: int = 3):
+    config = DeploymentConfig(
+        num_nodes=30,
+        area_side=26.0,
+        radius=9.0,
+        source_min_ecc=2,
+        source_max_ecc=None,
+    )
+    return deploy_uniform(config=config, seed=seed)
+
+
+def _assert_summary_matches(summary: StreamSummary, result) -> None:
+    assert summary.policy_name == result.policy_name
+    assert summary.source == result.source
+    assert summary.start_time == result.start_time
+    assert summary.end_time == result.end_time
+    assert summary.latency == result.latency
+    assert summary.covered_count == len(result.covered)
+    assert summary.num_advances == result.num_advances
+    assert summary.total_transmissions == result.total_transmissions
+    assert summary.failed_deliveries == result.failed_deliveries
+    assert summary.idle_time == result.idle_time
+    assert summary.synchronous == result.synchronous
+    assert summary.cycle_rate == result.cycle_rate
+
+
+@pytest.mark.parametrize("engine", sorted(STREAMING_BACKENDS))
+def test_streamed_advances_equal_materialized_trace(engine) -> None:
+    topology, source = _deployment()
+    schedule = build_wakeup_schedule(topology.node_ids, rate=5, seed=11)
+    result = run_broadcast(
+        topology,
+        source,
+        EModelPolicy(),
+        schedule=schedule,
+        align_start=True,
+        engine="vectorized",
+    )
+    streamed = []
+    summary = stream_broadcast(
+        topology,
+        source,
+        EModelPolicy(),
+        schedule=schedule,
+        align_start=True,
+        engine=engine,
+        sink=streamed.append,
+    )
+    assert tuple(streamed) == result.advances
+    _assert_summary_matches(summary, result)
+
+
+def test_streamed_lossy_run_matches_materialized() -> None:
+    topology, source = _deployment(seed=5)
+    link = IndependentLossLinks(0.25, seed=5)
+    result = run_broadcast(
+        topology, source, EModelPolicy(), engine="vectorized", link_model=link
+    )
+    assert result.failed_deliveries > 0  # the loss axis is actually exercised
+    summary = stream_broadcast(topology, source, EModelPolicy(), link_model=link)
+    _assert_summary_matches(summary, result)
+
+
+def test_streaming_does_not_materialize_advances() -> None:
+    """Memory regression: a counting sink keeps no advance alive.
+
+    Weak references stand in for a memory profiler: if the engine (or the
+    streaming driver) retained the advance list, the referents would
+    survive the run.  Every yielded advance must be collectable once the
+    sink returns and the run completes.
+    """
+    topology, source = _deployment(seed=7)
+    schedule = build_wakeup_schedule(topology.node_ids, rate=4, seed=7)
+    refs: list[weakref.ref] = []
+
+    def counting_sink(advance) -> None:
+        refs.append(weakref.ref(advance))
+
+    summary = stream_broadcast(
+        topology,
+        source,
+        EModelPolicy(),
+        schedule=schedule,
+        align_start=True,
+        sink=counting_sink,
+    )
+    assert summary.num_advances == len(refs) > 0
+    gc.collect()
+    alive = [ref for ref in refs if ref() is not None]
+    assert not alive, f"{len(alive)}/{len(refs)} streamed advances still alive"
+
+
+def test_streaming_with_default_sink_discards_advances() -> None:
+    topology, source = _deployment(seed=9)
+    result = run_broadcast(topology, source, LargestFirstPolicy(), engine="vectorized")
+    summary = stream_broadcast(topology, source, LargestFirstPolicy())
+    _assert_summary_matches(summary, result)
+
+
+def test_streaming_rejects_reference_engine() -> None:
+    topology, source = _deployment(seed=2)
+    with pytest.raises(ValueError, match="cannot stream"):
+        stream_broadcast(topology, source, EModelPolicy(), engine="reference")
+
+
+def test_streaming_rejects_planned_policies_on_lossy_links() -> None:
+    from repro.baselines.approx26 import Approx26Policy
+
+    topology, source = _deployment(seed=4)
+    with pytest.raises(ValueError, match="cannot run over lossy links"):
+        stream_broadcast(
+            topology,
+            source,
+            Approx26Policy(),
+            link_model=IndependentLossLinks(0.2, seed=1),
+        )
+
+
+def test_streaming_rejects_unknown_source() -> None:
+    topology, _ = _deployment(seed=6)
+    with pytest.raises(ValueError, match="unknown source node"):
+        stream_broadcast(topology, max(topology.node_ids) + 99, EModelPolicy())
