@@ -23,10 +23,15 @@ backends by the determinism contract).  Three measurements:
   executors touch the same adjacency rows — so n=100/300 are recorded and
   gated only against regression.
 * **stripe latency end-to-end** — ``run_batched`` versus a per-cell
-  ``run_broadcast`` loop over the same stripe.  The sequential per-lane
-  policy protocol (``select_advance`` per lane per slot) bounds this far
-  below the kernel factor; it is reported per column and gated only
-  against "batching must not slow the grid down" (total >= 1x).
+  ``run_broadcast`` loop over the same stripe.  With the batched decision
+  protocol (``select_advance_batch`` over stacked lane views, lane
+  fast-forward via ``next_decision_slot``, and the decoded-receiver apply
+  path) the plan-driven column is no longer bounded by per-lane Python
+  dispatch: the dispatch-bound column (n=50) is gated >= 3x at paper
+  scale (measured ~3.2x on the reference machine; was ~1.1-1.7x under
+  the per-lane fallback protocol), denser columns shift memory-bound and
+  are gated with the whole grid against "batching must not slow the grid
+  down" (total >= 1x).
 
 Results are written as JSON to ``$REPRO_BENCH_BATCHED_JSON`` (default
 ``BENCH_batched.json`` in the working directory) so CI can upload them as
@@ -55,7 +60,12 @@ from repro.sim.batched import BroadcastTask, run_batched
 from repro.sim.broadcast import run_broadcast
 from repro.sim.replay import ReplayPolicy
 
-from _bench_utils import emit, paper_scale as _paper_scale, time_per_call as _time_per_call
+from _bench_utils import (
+    emit,
+    paper_scale as _paper_scale,
+    time_pair as _time_pair,
+    time_per_call as _time_per_call,
+)
 
 GRID_COLUMNS = (50, 100, 300)
 DISPATCH_BOUND_COLUMNS = (50,)
@@ -63,6 +73,7 @@ LANES_PER_STRIPE = 60
 GRID_SPEEDUP_TARGET = 5.0
 COLUMN_SPEEDUP_FLOOR = 1.2
 END_TO_END_FLOOR = 1.0
+END_TO_END_DISPATCH_TARGET = 3.0
 
 
 def _json_path() -> str:
@@ -231,28 +242,35 @@ def test_stripe_latency_end_to_end(stripe_workload, results_sink):
     totals = {"per_cell": 0.0, "batched": 0.0}
     reps = 10 if _paper_scale() else 3
     for num_nodes, cells in stripe_workload.items():
+        # Policies and tasks are built outside the timed region on both
+        # sides ("engine machinery only"): ReplayPolicy is stateless across
+        # runs, and timing its constructor would charge identical per-lane
+        # policy-building cost to both executors, diluting the comparison.
+        per_cell_policies = [ReplayPolicy(trace) for _, _, trace in cells]
+        tasks = [
+            BroadcastTask(topology, source, ReplayPolicy(trace))
+            for topology, source, trace in cells
+        ]
 
         def per_cell_stripe() -> None:
-            for topology, source, trace in cells:
+            for (topology, source, _), policy in zip(cells, per_cell_policies):
                 run_broadcast(
                     topology,
                     source,
-                    ReplayPolicy(trace),
+                    policy,
                     validate=False,
                     engine="vectorized",
                 )
 
         def batched_stripe() -> None:
-            run_batched(
-                [
-                    BroadcastTask(topology, source, ReplayPolicy(trace))
-                    for topology, source, trace in cells
-                ],
-                validate=False,
-            )
+            run_batched(tasks, validate=False)
 
-        per_cell_s = _time_per_call(per_cell_stripe, min_reps=reps)
-        batched_s = _time_per_call(batched_stripe, min_reps=reps)
+        # Interleaved timing: the two sides of a ratio measured in disjoint
+        # windows would let machine-load drift masquerade as a speedup
+        # change (this gate sits at 3x, not 5x — margin matters).
+        per_cell_s, batched_s = _time_pair(
+            per_cell_stripe, batched_stripe, min_reps=reps
+        )
         per_column[f"n{num_nodes}"] = {
             "per_cell_ms": per_cell_s * 1e3,
             "batched_ms": batched_s * 1e3,
@@ -267,6 +285,7 @@ def test_stripe_latency_end_to_end(stripe_workload, results_sink):
         "total_batched_ms": totals["batched"] * 1e3,
         "total_speedup": total_speedup,
         "floor": END_TO_END_FLOOR,
+        "dispatch_target": END_TO_END_DISPATCH_TARGET,
     }
     lines = [
         f"{key:>6}: per-cell {row['per_cell_ms']:7.1f} ms  "
@@ -276,8 +295,17 @@ def test_stripe_latency_end_to_end(stripe_workload, results_sink):
     lines.append(f" total: {total_speedup:.2f}x")
     emit("Stripe latency end-to-end (engine machinery only)", "\n".join(lines))
     if _paper_scale():
-        # The per-lane policy protocol bounds this far below the kernel
-        # factor; gate "batching must not slow the grid", not a headline.
+        # Headline gate: the batched decision protocol unlocks the
+        # dispatch-bound column end to end (it was ~1.1-1.7x under the
+        # per-lane fallback protocol).  Denser columns shift memory-bound,
+        # so the whole grid is gated only against regression.
+        for num_nodes in DISPATCH_BOUND_COLUMNS:
+            speedup = per_column[f"n{num_nodes}"]["speedup"]
+            assert speedup >= END_TO_END_DISPATCH_TARGET, (
+                f"end-to-end stripe speedup regressed on the dispatch-bound "
+                f"n={num_nodes} column: {speedup:.2f}x < "
+                f"{END_TO_END_DISPATCH_TARGET}x"
+            )
         assert total_speedup >= END_TO_END_FLOOR, (
             f"batched stripes slower than per-cell runs ({total_speedup:.2f}x)"
         )

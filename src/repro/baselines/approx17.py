@@ -21,9 +21,11 @@ this baseline and plots in Figures 4-7.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.baselines.approx26 import layer_color_plan
 from repro.baselines.bfs_tree import BroadcastTree, build_broadcast_tree
-from repro.core.advance import Advance, BroadcastState
+from repro.core.advance import Advance, BroadcastState, LaneStateView
 from repro.core.policies import SchedulingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.interference import has_conflict
@@ -95,6 +97,26 @@ class Approx17Policy(SchedulingPolicy):
             self._current_layer += 1
             self._pending = dict(self._layer_parents[self._current_layer])
 
+    def next_decision_slot(self, time: int) -> int | None:
+        """Earliest wake-up slot of any pending parent (a valid promise).
+
+        No pending parent is awake strictly before that slot, so
+        :meth:`select_advance` would answer ``None`` there; the hint may be
+        *early* (the first-awake parent might not be covered yet), which is
+        safe — the engine simply offers that slot and gets ``None``.  No
+        promise is made before :meth:`prepare` or once the plan is
+        exhausted, so the unprepared/exhausted errors fire at the exact
+        slot the unhinted engines would surface them.
+        """
+        if self._tree is None or self._schedule is None:
+            return None
+        self._open_next_layer()
+        if not self._pending:
+            return None
+        return min(
+            self._schedule.next_active_slot(node, time) for node in self._pending
+        )
+
     def select_advance(self, state: BroadcastState) -> Advance | None:
         if state.is_complete:
             return None
@@ -141,3 +163,17 @@ class Approx17Policy(SchedulingPolicy):
             num_colors=len(self._layer_parents),
             note=self.name,
         )
+
+    def select_advance_batch(
+        self, views: Sequence[LaneStateView]
+    ) -> list[Advance | None]:
+        """Batched layer replay.
+
+        The decision itself stays per-lane — admission mutates the back-off
+        state (``_pending``) and inspects per-pair conflicts — so this
+        decider dispatches each view to its own policy.  The batching win
+        of this baseline is :meth:`next_decision_slot`: the engines
+        fast-forward each lane straight to its first pending parent's
+        wake-up slot, so a duty-cycled lane is decided ~once per cycle
+        instead of once per slot."""
+        return [view.policy.select_advance(view) for view in views]

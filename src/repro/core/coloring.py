@@ -23,12 +23,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, Literal, Sequence
+from weakref import WeakKeyDictionary
 
 from repro.network.topology import WSNTopology
 
 __all__ = [
     "frontier_candidates",
     "greedy_color_classes",
+    "cached_greedy_color_classes",
     "enumerate_color_classes",
     "ColorScheme",
     "conflict_graph",
@@ -125,6 +127,45 @@ def greedy_color_classes(
         classes.append(current)
         remaining = still_remaining
     return [frozenset(c) for c in classes]
+
+
+# Greedy classes keyed on (covered, awake) per topology: batched lanes that
+# share a topology (replicated cells, repeated decision states along one
+# trajectory) reach identical (W, awake) states, and the classes depend on
+# nothing else.  The WeakKeyDictionary drops a topology's entries with the
+# topology itself; the per-topology cap bounds the worst case (every slot a
+# distinct awake set) without evicting the hot single-topology reuse.
+_GREEDY_CLASS_CACHE: WeakKeyDictionary[WSNTopology, dict] = WeakKeyDictionary()
+_GREEDY_CLASS_CACHE_CAP = 4096
+
+
+def cached_greedy_color_classes(
+    topology: WSNTopology,
+    covered: frozenset[int] | set[int],
+    awake: Iterable[int] | None = None,
+) -> list[frozenset[int]]:
+    """Memoized :func:`greedy_color_classes` (identical result, shared work).
+
+    The decision-level colourings of the time-counter and E-model policies
+    are pure in ``(topology, covered, awake)``; caching them lets lanes of a
+    batched stripe that share a topology reuse each other's colourings (and
+    a single broadcast reuse the colouring of a slot it revisits after idle
+    slots).  Callers must treat the returned list as immutable.
+    """
+    per_topology = _GREEDY_CLASS_CACHE.get(topology)
+    if per_topology is None:
+        per_topology = _GREEDY_CLASS_CACHE[topology] = {}
+    key = (
+        frozenset(covered),
+        None if awake is None else frozenset(awake),
+    )
+    classes = per_topology.get(key)
+    if classes is None:
+        classes = greedy_color_classes(topology, covered, awake)
+        if len(per_topology) >= _GREEDY_CLASS_CACHE_CAP:
+            per_topology.clear()
+        per_topology[key] = classes
+    return classes
 
 
 def _bron_kerbosch_independent_sets(

@@ -19,10 +19,10 @@ exercised through identical machinery.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Literal
+from typing import Literal, Sequence
 
-from repro.core.advance import Advance, BroadcastState
-from repro.core.coloring import ColorScheme, greedy_color_classes
+from repro.core.advance import Advance, BroadcastState, LaneStateView
+from repro.core.coloring import ColorScheme, cached_greedy_color_classes
 from repro.core.estimation import EdgeEstimate, build_edge_estimate
 from repro.core.time_counter import SearchConfig, TimeCounter
 from repro.dutycycle.schedule import WakeupSchedule
@@ -80,6 +80,14 @@ class SchedulingPolicy(ABC):
     #: largest-first) opt in explicitly.
     frontier_driven: bool = False
 
+    #: Whether the policy's *batched* decider reads the stacked
+    #: uncovered-degree rows (``LaneStateView.uncovered_degree``).  The
+    #: batched executor tracks that state for any lane whose policy either
+    #: skips idle duty-cycle slots (``frontier_driven`` with a schedule) or
+    #: sets this flag; the flooding baseline opts in so its frontier mask is
+    #: one stacked comparison even for synchronous batches.
+    batch_frontier: bool = False
+
     def prepare(
         self,
         topology: WSNTopology,
@@ -91,15 +99,47 @@ class SchedulingPolicy(ABC):
     def next_decision_slot(self, time: int) -> int | None:
         """Earliest slot >= ``time`` at which the policy might transmit.
 
-        A fast-forward hint for the vectorized engine: returning ``s`` is a
-        promise that :meth:`select_advance` answers ``None`` for every slot
-        in ``[time, s)``, so the engine may jump straight to ``s`` without
-        offering the intermediate slots.  Returning ``None`` (the default)
-        makes no promise — every slot is offered as usual.  Policies that
-        precompute their transmission times (replays, layer-schedule
-        baselines) can override this; the reference engines ignore it.
+        A fast-forward hint honoured by every engine backend: returning
+        ``s`` is a promise that :meth:`select_advance` answers ``None`` for
+        every slot in ``[time, s)``, so an engine may jump straight to ``s``
+        without offering the intermediate slots (the batched executor feeds
+        the hint into its min-heap of lane wake times).  Returning ``None``
+        (the default) makes no promise — every slot is offered as usual.
+        Policies that precompute their transmission times (replays, the
+        exact tiers, the layer-schedule baselines) override this.
         """
         return None
+
+    def select_advance_batch(
+        self, views: "Sequence[LaneStateView]"
+    ) -> "list[Advance | None]":
+        """Batched decision point: one advance (or ``None``) per lane view.
+
+        The batched executor groups its lanes by policy class and calls
+        this once per group per macro-slot instead of ``select_advance``
+        once per lane.  The default implementation *is* the per-lane
+        fallback — it dispatches ``select_advance`` on each view — so a
+        policy without a vectorized decider behaves identically under
+        either path.
+
+        Contract for overrides:
+
+        * decisions must be **lane-independent** — lane ``i``'s advance may
+          depend only on ``views[i]``, never on the other lanes, so any
+          lane grouping or batch size yields bit-identical traces (the
+          conformance suites pin the batched path against the fallback);
+        * a mixed group passes views of *different instances* (the engine
+          groups by class), so overrides must consult ``view.policy``
+          rather than ``self``;
+        * the returned list is parallel to ``views`` (same length, same
+          order).
+
+        Direct callers may also pass plain :class:`BroadcastState` objects
+        (which carry no ``policy``); the default then decides with ``self``.
+        """
+        return [
+            getattr(view, "policy", self).select_advance(view) for view in views
+        ]
 
     @abstractmethod
     def select_advance(self, state: BroadcastState) -> Advance | None:
@@ -190,9 +230,18 @@ class _TimeCounterPolicy(SchedulingPolicy):
         awake = None
         if state.schedule is not None:
             awake = state.schedule.awake_nodes(state.covered, state.time)
-        colors = self._decision_scheme.color_classes(
-            state.topology, state.covered, awake
-        )
+        if self._decision_scheme.mode == "greedy":
+            # Decision-level greedy colourings are pure in (topology, W,
+            # awake), so lanes of a batched stripe sharing a topology reuse
+            # them; the recursive evaluation of M keeps its own uncached
+            # scheme (its state space would swamp the cache).
+            colors = cached_greedy_color_classes(
+                state.topology, state.covered, awake
+            )
+        else:
+            colors = self._decision_scheme.color_classes(
+                state.topology, state.covered, awake
+            )
         if not colors:
             return None
         best_color, _ = self._counter.select_color(state.covered, state.time, colors)
@@ -327,7 +376,7 @@ class EModelPolicy(SchedulingPolicy):
         awake = None
         if state.schedule is not None:
             awake = state.schedule.awake_nodes(state.covered, state.time)
-        colors = greedy_color_classes(state.topology, state.covered, awake)
+        colors = cached_greedy_color_classes(state.topology, state.covered, awake)
         if not colors:
             return None
 

@@ -82,6 +82,7 @@ from repro.experiments.report import (
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.network.sources import placement_names
 from repro.scenarios import list_scenarios, scenario_names
+from repro.sim.batched import BatchProfile
 from repro.sim.broadcast import ENGINE_BACKENDS
 from repro.sim.links import link_model_names
 from repro.solvers import solver_catalog, solver_names
@@ -355,6 +356,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "report the batched engine's timing split (stacked kernels / "
+            "policy decisions / bookkeeping) for the 'sweep' target; forces "
+            "in-process execution and requires --engine batched on a "
+            "stripe-eligible sweep (single-source, heuristic solver)"
+        ),
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="print the registered deployment scenarios and exit",
@@ -425,6 +436,23 @@ def _format_catalog(title: str, entries: list[tuple[str, str, dict]]) -> str:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(defaults.items()))
             lines.append(f"  {'':<{width}}  defaults: {rendered}")
     return "\n".join(lines)
+
+
+def _profile_line(profile: BatchProfile) -> str:
+    """One-line batched-engine timing split for the sweep header."""
+    if profile.macro_steps == 0:
+        return (
+            "profile: no batched stripes ran (needs --engine batched on a "
+            "stripe-eligible sweep with uncached cells)"
+        )
+    return (
+        f"profile: kernel {profile.kernel_s * 1e3:.1f} ms | "
+        f"policy decisions {profile.decide_s * 1e3:.1f} ms | "
+        f"bookkeeping {profile.bookkeeping_s * 1e3:.1f} ms "
+        f"(total {profile.total_s * 1e3:.1f} ms over "
+        f"{profile.macro_steps} macro-steps, "
+        f"{profile.lanes_decided} decisions, {profile.advances} advances)"
+    )
 
 
 def _emit(name: str, text: str, csv: str | None, csv_dir: Path | None) -> None:
@@ -625,6 +653,7 @@ def main(argv: list[str] | None = None) -> int:
                 if held != len(checks):
                     exit_code = 1
             elif target == "sweep":
+                profile = BatchProfile() if args.profile else None
                 sweep = run_sweep(
                     config,
                     system=args.system,
@@ -632,6 +661,7 @@ def main(argv: list[str] | None = None) -> int:
                     store=store,
                     resume=args.resume,
                     progress=_progress if store is not None else None,
+                    profile=profile,
                 )
                 csv = to_csv(SweepResult.ROW_HEADERS, sweep.to_rows())
                 header = (
@@ -648,6 +678,8 @@ def main(argv: list[str] | None = None) -> int:
                         f"\nstore: {sweep.cache_hits} hits / "
                         f"{sweep.cache_misses} misses ({cached:.0f}% cached)"
                     )
+                if profile is not None:
+                    header += f"\n{_profile_line(profile)}"
                 _emit(target, f"{header}\n{csv.rstrip()}", csv, args.csv_dir)
             elif target == "claims":
                 fig3 = fig_cache.get("figure3") or figures_mod.figure3(

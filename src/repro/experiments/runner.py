@@ -73,7 +73,7 @@ from repro.experiments.config import SweepConfig
 from repro.network.deployment import DeploymentConfig, deploy_uniform
 from repro.network.sources import select_sources
 from repro.scenarios import generate_scenario
-from repro.sim.batched import BroadcastTask, run_batched
+from repro.sim.batched import BatchProfile, BroadcastTask, run_batched
 from repro.sim.broadcast import run_broadcast
 from repro.sim.energy import energy_of_broadcast
 from repro.sim.links import build_link_model
@@ -525,7 +525,9 @@ def _stripe_eligible(config: SweepConfig) -> bool:
     return config.n_sources == 1 and config.solver == "heuristic"
 
 
-def _run_stripe(stripe: tuple[SweepCell, ...]) -> list[list[RunRecord]]:
+def _run_stripe(
+    stripe: tuple[SweepCell, ...], profile: BatchProfile | None = None
+) -> list[list[RunRecord]]:
     """Execute one same-node-count stripe of cells in stacked batches.
 
     The pool work unit of the ``"batched"`` engine: every (cell, policy)
@@ -550,7 +552,9 @@ def _run_stripe(stripe: tuple[SweepCell, ...]) -> list[list[RunRecord]]:
         for _, factory in setup.policies
     ]
     batch = stripe[0].config.batch
-    traces = iter(run_batched(tasks, batch=batch, validate=True, prepare=True))
+    traces = iter(
+        run_batched(tasks, batch=batch, validate=True, prepare=True, profile=profile)
+    )
     results: list[list[RunRecord]] = []
     for cell, setup in zip(stripe, setups):
         records = []
@@ -579,6 +583,7 @@ def run_sweep(
     store: ExperimentStore | None = None,
     resume: bool = True,
     progress: Callable[[str], None] | None = None,
+    profile: BatchProfile | None = None,
 ) -> SweepResult:
     """Run the full sweep and return the collected records.
 
@@ -622,6 +627,15 @@ def run_sweep(
     progress:
         Optional sink for one-line progress messages (the CLI passes a
         stderr printer); currently reports the cache hit/miss split.
+    profile:
+        Optional :class:`~repro.sim.batched.BatchProfile` accumulator for
+        the batched stripe executor's per-phase timing split (kernel /
+        policy decisions / bookkeeping).  Profiling forces the stripes to
+        run in-process (phase timers cannot aggregate across pool
+        workers), so expect ``workers`` to be ignored while it is set.
+        The accumulator stays empty when the sweep does not take the
+        batched stripe path (other engines, multi-source or exact-solver
+        grids, or every cell already cached).
     """
     effective_workers = _resolve_workers(
         config.workers if workers is None else workers
@@ -701,8 +715,15 @@ def run_sweep(
         stripe_cells = [
             tuple(cells[index] for index in indices) for indices in stripe_indices
         ]
-        if effective_workers <= 1 or len(stripe_cells) <= 1:
-            stripe_results = map(_run_stripe, stripe_cells)
+        in_process = (
+            effective_workers <= 1 or len(stripe_cells) <= 1 or profile is not None
+        )
+        if in_process:
+            # profile forces this path: phase timers accumulate in the
+            # parent's BatchProfile, which pool workers could not share.
+            stripe_results = (
+                _run_stripe(stripe, profile=profile) for stripe in stripe_cells
+            )
             for indices, per_stripe in zip(stripe_indices, stripe_results):
                 for index, records in zip(indices, per_stripe):
                     _finish(index, records)

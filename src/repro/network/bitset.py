@@ -69,6 +69,8 @@ class BitsetTopology:
         "id_lookup",
         "_index",
         "_distance_cache",
+        "_ecc_cache",
+        "_max_degree",
         "__weakref__",
     )
 
@@ -107,6 +109,8 @@ class BitsetTopology:
                 lookup[self.node_ids] = np.arange(n, dtype=np.int64)
                 self.id_lookup = lookup
         self._distance_cache: dict[int, np.ndarray] = {}
+        self._ecc_cache: dict[int, int] = {}
+        self._max_degree: int | None = None
 
     @property
     def topology(self) -> WSNTopology:
@@ -299,17 +303,24 @@ class BitsetTopology:
         :meth:`WSNTopology.eccentricity` when the network is disconnected
         from ``source``.
         """
+        cached = self._ecc_cache.get(source)
+        if cached is not None:
+            return cached
         distances = self.hop_distances_bool(source)
         unreachable = int(np.count_nonzero(distances < 0))
         if unreachable:
             raise ValueError(
                 f"network is disconnected: {unreachable} nodes unreachable from {source}"
             )
-        return int(distances.max(initial=0))
+        ecc = int(distances.max(initial=0))
+        self._ecc_cache[source] = ecc
+        return ecc
 
     def max_degree(self) -> int:
         """The maximum node degree (precomputed)."""
-        return int(self.degrees.max(initial=0))
+        if self._max_degree is None:
+            self._max_degree = int(self.degrees.max(initial=0))
+        return self._max_degree
 
 
 _VIEW_CACHE: "weakref.WeakKeyDictionary[WSNTopology, BitsetTopology]" = (
@@ -329,23 +340,29 @@ def bitset_view(topology: WSNTopology) -> BitsetTopology:
 # ----------------------------------------------------------------------
 # Stacked-mask kernels (the batched executor's substrate)
 # ----------------------------------------------------------------------
-def stacked_adjacency(views: Sequence[BitsetTopology]) -> np.ndarray:
-    """Stack same-size views into one ``(L, n, n)`` uint8 adjacency tensor.
+def stacked_adjacency(
+    views: Sequence[BitsetTopology], dtype: type = np.uint8
+) -> np.ndarray:
+    """Stack same-size views into one ``(L, n, n)`` adjacency tensor.
 
-    Lane ``l`` of the stack is ``views[l].adjacency_u8``; the batched
-    executor (:mod:`repro.sim.batched`) runs every per-advance interference
-    kernel of all lanes through a single gather over this tensor instead of
-    one matrix slice per lane.  The views may come from *different*
-    topologies — a sweep stripe stacks independent deployments — but must
-    share the node count.
+    Lane ``l`` of the stack is ``views[l].adjacency_u8`` (or the cached
+    float32 copy for ``dtype=np.float32`` — the batched executor stacks
+    float32 so the per-advance gather feeds BLAS without an ``astype`` per
+    kernel call); the batched executor (:mod:`repro.sim.batched`) runs
+    every per-advance interference kernel of all lanes through a single
+    gather over this tensor instead of one matrix slice per lane.  The
+    views may come from *different* topologies — a sweep stripe stacks
+    independent deployments — but must share the node count.
     """
     if not views:
-        return np.zeros((0, 0, 0), dtype=np.uint8)
+        return np.zeros((0, 0, 0), dtype=dtype)
     sizes = {view.num_nodes for view in views}
     if len(sizes) > 1:
         raise ValueError(
             f"cannot stack views with different node counts: {sorted(sizes)}"
         )
+    if dtype is np.float32:
+        return np.stack([view.adjacency_f32 for view in views])
     return np.stack([view.adjacency_u8 for view in views])
 
 
@@ -390,7 +407,9 @@ def stacked_hear_counts_at(
     """
     num_lanes = adjacency_stack.shape[0]
     num_rows = len(lane_idx)
-    rows = adjacency_stack[lane_idx, tx_idx].astype(np.float32)
+    rows = adjacency_stack[lane_idx, tx_idx]
+    if rows.dtype != np.float32:
+        rows = rows.astype(np.float32)
     if num_lanes <= _MATMUL_LANE_LIMIT:
         selector = np.zeros((num_lanes, num_rows), dtype=np.float32)
         selector[lane_idx, _arange(num_rows)] = 1.0

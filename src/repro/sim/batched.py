@@ -11,20 +11,34 @@ matrix slice per lane, and wake-up activity is answered by per-(node,
 slot) point queries, so hint-driven lanes never materialize an activity
 window at all.
 
+Scheduling decisions are batched too: each lane owns one reusable
+:class:`repro.core.advance.LaneStateView` over the stacked coverage /
+uncovered-degree rows (no :class:`~repro.core.advance.BroadcastState`
+allocation per lane per slot), lanes are grouped by policy class, and each
+group is decided with one
+:meth:`~repro.core.policies.SchedulingPolicy.select_advance_batch` call —
+a dict lookup per lane for the plan-driven family, a stacked frontier mask
+for flooding, the per-lane fallback for everything else.  A min-heap of
+lane wake times drives the scheduler: every lane is fast-forwarded by its
+policy's ``next_decision_slot`` hint (and, for frontier-driven duty-cycle
+policies, the awake-frontier scan) before it re-enters the heap, so lanes
+promising idle slots jump straight to their next decision time.
+
 Determinism contract
 --------------------
 Lanes step on **lane-local clocks**: each lane computes its next offered
 slot with exactly the rules of the vectorized kernel
 (:meth:`repro.sim.fast_engine._FastEngineBase._iter_run` — hint
 fast-forward, then the awake-frontier scan for frontier-driven duty-cycle
-policies), the policy's ``select_advance`` runs per lane, and the link
-model's RNG is consumed per lane in the canonical candidate-pair order.
-Batching therefore changes *which numpy calls* carry the work, never which
-slots are offered, which advances are validated, or which uniform draws a
-delivery consumes — the traces are **bit-identical** to per-lane runs for
-any lane grouping, batch size, or engine backend (the conformance suite in
-``tests/property/test_backend_conformance.py`` pins this across the full
-scenario x duty-model x link-model matrix).
+policies), the policy decides per lane (batched deciders are
+lane-independent by contract), and the link model's RNG is consumed per
+lane in the canonical candidate-pair order.  Batching therefore changes
+*which numpy calls* carry the work, never which slots are offered, which
+advances are validated, or which uniform draws a delivery consumes — the
+traces are **bit-identical** to per-lane runs for any lane grouping, batch
+size, decision path (``batch_decisions`` on or off) or engine backend (the
+conformance suite in ``tests/property/test_backend_conformance.py`` pins
+this across the full scenario x duty-model x link-model matrix).
 
 :class:`BatchedRoundEngine` / :class:`BatchedSlotEngine` plug the kernel
 into :data:`repro.sim.broadcast.ENGINE_BACKENDS` as ``"batched"``, so
@@ -37,18 +51,22 @@ shared-timeline contention loop is inherently cross-message sequential.
 Error semantics: lanes fail loudly with the per-lane engines' exact
 messages (invalid advances, sleeping transmitters, conflicts, receiver
 mismatches, :class:`~repro.sim.engine.SimulationTimeout`); one failing lane
-aborts its batch, as a failing cell aborts a sweep.
+aborts its batch, as a failing cell aborts a sweep.  When several lanes of
+one macro-step fail, the lane served earliest (smallest wake time, then
+lane order) raises first.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.advance import Advance, BroadcastState
+from repro.core.advance import Advance, BroadcastState, LaneStateView
 from repro.core.policies import SchedulingPolicy
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.bitset import (
@@ -72,6 +90,7 @@ from repro.utils.validation import require
 
 __all__ = [
     "BroadcastTask",
+    "BatchProfile",
     "run_batched",
     "BatchedRoundEngine",
     "BatchedSlotEngine",
@@ -96,6 +115,52 @@ class BroadcastTask:
     align_start: bool = False
     max_time: int | None = None
     link_model: LinkModel | None = None
+
+
+@dataclass
+class BatchProfile:
+    """Per-phase wall-time split of a batched run (``--profile`` in the CLI).
+
+    Accumulated in place across every batch of a :func:`run_batched` call
+    (pass one instance to many calls to aggregate a whole sweep).  The
+    three-way split the CLI reports:
+
+    * **kernel** — the stacked interference kernels (hear counts,
+      conflicts/receivers, frontier-degree updates);
+    * **decisions** — the policy decision calls (batched deciders or the
+      per-lane fallback);
+    * **bookkeeping** — everything else: wake-time scheduling (hints and
+      frontier scans) plus per-advance validation and state updates.
+    """
+
+    kernel_s: float = 0.0
+    decide_s: float = 0.0
+    offer_s: float = 0.0
+    apply_s: float = 0.0
+    macro_steps: int = 0
+    lanes_decided: int = 0
+    advances: int = 0
+
+    @property
+    def bookkeeping_s(self) -> float:
+        """Scheduling plus validation/state time (everything non-kernel,
+        non-decision)."""
+        return self.offer_s + max(self.apply_s - self.kernel_s, 0.0)
+
+    @property
+    def total_s(self) -> float:
+        """Total accounted wall time of the run loop's phases."""
+        return self.offer_s + self.decide_s + self.apply_s
+
+    def merge(self, other: "BatchProfile") -> None:
+        """Fold another profile into this one (field-wise sums)."""
+        self.kernel_s += other.kernel_s
+        self.decide_s += other.decide_s
+        self.offer_s += other.offer_s
+        self.apply_s += other.apply_s
+        self.macro_steps += other.macro_steps
+        self.lanes_decided += other.lanes_decided
+        self.advances += other.advances
 
 
 class _Lane:
@@ -125,6 +190,10 @@ class _Lane:
         "check_conflicts",
         "skip_idle",
         "hint",
+        "index",
+        "base",
+        "decider_key",
+        "state_view",
         "advances",
         "result",
         "frontier_idx",
@@ -173,6 +242,10 @@ class _Lane:
 
         self.topology = topology
         self.view: BitsetTopology = engine._view
+        # Hot-loop caches: the id -> row dict and this lane's flat-row base
+        # (base is assigned with the row by _LaneBatch).
+        self.index = engine._view._index
+        self.base = 0
         self.policy = policy
         self.schedule = task.schedule
         self.link = link
@@ -182,7 +255,10 @@ class _Lane:
         self.time = start_time
         self.end_time = start_time - 1
         self.limit = start_time + max_time
-        self.covered: frozenset[int] = frozenset({task.source})
+        # Mutable and updated in place per delivery (a frozenset union per
+        # advance rehashes the whole set); views hand it to policies as
+        # read-only, finish() snapshots it.
+        self.covered: set[int] = {task.source}
         self.covered_count = 1
         self.num_nodes = self.view.num_nodes
         self.check_conflicts = getattr(policy, "interference_free", True)
@@ -190,6 +266,16 @@ class _Lane:
             policy, "frontier_driven", False
         )
         self.hint = policy.next_decision_slot
+        # Lanes whose policy class overrides select_advance_batch form one
+        # decision group per class; everything else shares the mixed
+        # fallback group (the default decider dispatches per view.policy).
+        self.decider_key = (
+            type(policy)
+            if type(policy).select_advance_batch
+            is not SchedulingPolicy.select_advance_batch
+            else SchedulingPolicy
+        )
+        self.state_view: LaneStateView | None = None
         self.advances: list[Advance] = []
         self.result: BroadcastResult | None = None
         # Frontier bookkeeping, dirty (None) whenever coverage grows; the
@@ -205,28 +291,60 @@ class _Lane:
             source=self.source,
             start_time=self.start_time,
             end_time=max(self.end_time, self.start_time - 1),
-            covered=self.covered,
+            covered=frozenset(self.covered),
             advances=tuple(self.advances),
             synchronous=self.schedule is None,
             cycle_rate=1 if self.schedule is None else self.schedule.rate,
         )
 
 
+def _timeout(lane: _Lane) -> SimulationTimeout:
+    return SimulationTimeout(
+        f"broadcast did not complete by time {lane.limit} "
+        f"(covered {lane.covered_count}/{lane.num_nodes} nodes); the policy "
+        "or the wake-up schedule is not making progress"
+    )
+
+
 class _LaneBatch:
     """Stacked execution of same-size lanes on lane-local clocks."""
 
-    def __init__(self, lanes: Sequence[_Lane]) -> None:
+    def __init__(
+        self,
+        lanes: Sequence[_Lane],
+        *,
+        batch_decisions: bool = True,
+        profile: BatchProfile | None = None,
+    ) -> None:
         self.lanes = list(lanes)
+        self.batch_decisions = batch_decisions
+        self.profile = profile
+        self.all_lossless = all(lane.link.lossless for lane in self.lanes)
+        self.any_schedule = any(lane.schedule is not None for lane in self.lanes)
         n = self.lanes[0].num_nodes
         self.n = n
         num_lanes = len(self.lanes)
+        # uint8 stack: the per-advance gather is memory-bound, so the
+        # narrow dtype beats a pre-cast float32 stack (4x the traffic)
+        # despite the astype the kernel pays on the gathered rows.
         self.adjacency = stacked_adjacency([lane.view for lane in self.lanes])
+        # Flat row -> node id table for the all-lossless apply path: one
+        # gather decodes every expected receiver in the batch at once.
+        self.ids_flat = (
+            np.concatenate([lane.view.node_ids for lane in self.lanes])
+            if self.all_lossless
+            else None
+        )
         self.covered = np.zeros((num_lanes, n), dtype=bool)
-        # Uncovered-degree rows exist only for the frontier scan of
-        # duty-cycle idle-slot skipping; a batch with no such lane (all
-        # synchronous, or hint-driven policies) never reads them, so it
-        # skips both the init and the per-advance update kernel.
-        self.track_frontier = any(lane.skip_idle for lane in self.lanes)
+        self.covered_flat = self.covered.reshape(-1)
+        # Uncovered-degree rows exist for the frontier scan of duty-cycle
+        # idle-slot skipping and for batched deciders that read them
+        # (policy.batch_frontier); a batch with no such lane never reads
+        # them, so it skips both the init and the per-advance update kernel.
+        self.track_frontier = any(
+            lane.skip_idle or getattr(lane.policy, "batch_frontier", False)
+            for lane in self.lanes
+        )
         # float32 like the kernel's counts (exact small integers), so the
         # per-advance degree update is a single in-place subtract.
         self.uncovered_degree = (
@@ -234,6 +352,7 @@ class _LaneBatch:
         )
         for row, lane in enumerate(self.lanes):
             lane.row = row
+            lane.base = row * n
             source_row = lane.view.index_of(lane.source)
             self.covered[row, source_row] = True
             if self.track_frontier:
@@ -241,6 +360,28 @@ class _LaneBatch:
                 self.uncovered_degree[row] = (
                     lane.view.degrees - self.adjacency[row, source_row]
                 )
+            # One reusable view per lane: the numpy rows are zero-copy
+            # slices of the stacked matrices (they track every applied
+            # advance in place); covered/time are refreshed per decision.
+            lane.state_view = LaneStateView(
+                lane.topology,
+                lane.schedule,
+                lane.policy,
+                bitset=lane.view,
+                row=row,
+                covered=lane.covered,
+                time=lane.time,
+                covered_bool=self.covered[row],
+                uncovered_degree=(
+                    None if self.uncovered_degree is None else self.uncovered_degree[row]
+                ),
+            )
+        # Single-group shortcut: a homogeneous stripe (one decider for every
+        # lane) skips the per-step grouping entirely.
+        keys = {lane.decider_key for lane in self.lanes}
+        self.single_decider = (
+            self.lanes[0].policy.select_advance_batch if len(keys) == 1 else None
+        )
 
     # ------------------------------------------------------------------
     def _compute_offer(self, lane: _Lane) -> None:
@@ -268,54 +409,67 @@ class _LaneBatch:
                 next_slot = lane.scan.next_active(time, lane.limit)
                 time = lane.limit + 1 if next_slot is None else next_slot
         if time > lane.limit:
-            raise SimulationTimeout(
-                f"broadcast did not complete by time {lane.limit} "
-                f"(covered {lane.covered_count}/{lane.num_nodes} nodes); the policy "
-                "or the wake-up schedule is not making progress"
-            )
+            raise _timeout(lane)
         lane.time = time
 
     # ------------------------------------------------------------------
-    def _apply(self, proposals: list[tuple[_Lane, Advance]]) -> None:
-        """Validate and apply one advance per proposing lane, batched."""
-        n = self.n
-        checked: list[tuple[_Lane, Advance, np.ndarray]] = []
-        tx_flat_parts: list[np.ndarray] = []
-        for lane, advance in proposals:
-            if advance.time != lane.time:
-                raise ValueError(
-                    f"policy returned an advance for time {advance.time}, "
-                    f"expected {lane.time}"
+    def _select(self, served: list[_Lane]) -> list[Advance | None]:
+        """One decision per served lane (batched dispatch or legacy path)."""
+        if not self.batch_decisions:
+            # Legacy per-lane path: a fresh state object per lane per slot.
+            # Kept as the conformance axis the batched protocol is pinned
+            # against (and for callers that need the old allocation
+            # behavior verbatim).
+            decisions: list[Advance | None] = []
+            for lane in served:
+                state = BroadcastState.for_engine(
+                    lane.topology, frozenset(lane.covered), lane.time, lane.schedule
                 )
-            not_covered = advance.color - lane.covered
-            if not_covered:
+                decisions.append(lane.policy.select_advance(state))
+            return decisions
+        # View clocks were refreshed by the caller's heap drain (views alias
+        # each lane's live covered set, so time is all that changes).
+        if self.single_decider is not None:
+            result = self.single_decider([lane.state_view for lane in served])
+            if len(result) != len(served):
                 raise ValueError(
-                    f"policy scheduled transmitters that do not hold the message: "
-                    f"{sorted(not_covered)}"
+                    f"select_advance_batch returned {len(result)} decisions "
+                    f"for {len(served)} lanes"
                 )
-            tx_idx = lane.view.indices(advance.color)
-            if lane.schedule is not None:
-                asleep = [
-                    u
-                    for u in advance.color
-                    if not lane.schedule.is_active(u, lane.time)
-                ]
-                if asleep:
-                    raise ValueError(
-                        f"policy scheduled sleeping transmitters at slot "
-                        f"{lane.time}: {sorted(asleep)}"
-                    )
-            tx_flat_parts.append(lane.row * n + tx_idx)
-            checked.append((lane, advance, tx_idx))
-        lane_rows, tx_cols = np.divmod(np.concatenate(tx_flat_parts), n)
-        counts = stacked_hear_counts_at(self.adjacency, lane_rows, tx_cols)
-        conflicts, expected = stacked_receivers(counts, self.covered)
-        expected_counts = expected.sum(axis=1).tolist()
+            return result
+        groups: dict[type, list[int]] = {}
+        for i, lane in enumerate(served):
+            groups.setdefault(lane.decider_key, []).append(i)
+        decisions = [None] * len(served)
+        for members in groups.values():
+            views = [served[i].state_view for i in members]
+            result = served[members[0]].policy.select_advance_batch(views)
+            if len(result) != len(views):
+                raise ValueError(
+                    f"select_advance_batch returned {len(result)} decisions "
+                    f"for {len(views)} lanes"
+                )
+            for i, advance in zip(members, result):
+                decisions[i] = advance
+        return decisions
 
-        # Per-lane validation order matches the per-lane kernel: conflicts
-        # before the receiver-equality check.
-        recorded_rows: list[np.ndarray | None] = []
-        for lane, advance, tx_idx in checked:
+    # ------------------------------------------------------------------
+    def _validate_slow(
+        self,
+        checked: list,
+        conflicts: np.ndarray,
+        expected: np.ndarray,
+        expected_counts: list[int],
+    ) -> None:
+        """Per-lane validation in served order — the canonical error path.
+
+        Runs only when the aggregate happy-path check of :meth:`_apply`
+        fails; re-derives each lane's verdict with the per-lane kernels so
+        the raised error (and which lane raises first) matches the
+        per-lane engines exactly.
+        """
+        for lane, advance in checked:
+            tx_idx = lane.view.indices(advance.color)
             if lane.check_conflicts and conflicts[lane.row]:
                 pairs = lane.view.conflicting_pairs(tx_idx, self.covered[lane.row])
                 raise ValueError(
@@ -335,73 +489,349 @@ class _LaneBatch:
                     "advance.receivers does not match the uncovered neighbours "
                     f"of its transmitters at time {lane.time}"
                 )
-            recorded_rows.append(recorded_idx)
 
-        delivered_flat_parts: list[np.ndarray] = []
-        for (lane, advance, tx_idx), recorded_idx in zip(checked, recorded_rows):
+    # ------------------------------------------------------------------
+    def _apply(
+        self, served: list[_Lane], decisions: list[Advance | None]
+    ) -> None:
+        """Validate and apply the proposing lanes' advances, batched.
+
+        The happy path builds every lane's transmitter/receiver coordinates
+        as flat Python lists (plain dict lookups — no per-lane numpy
+        dispatch), runs the stacked kernels once, and verifies all lanes
+        with one aggregate check; any failure falls back to
+        :meth:`_validate_slow` for the canonical per-lane error.  On an
+        all-lossless batch the validated receiver coordinates double as the
+        coverage scatter, so the whole delivery step is two numpy calls.
+        ``None`` decisions (lanes idling this slot) are filtered here, in
+        the same pass as the per-advance sanity checks.
+        """
+        if self.all_lossless:
+            self._apply_lossless(served, decisions)
+        else:
+            self._apply_mixed(served, decisions)
+
+    def _apply_lossless(
+        self, served: list[_Lane], decisions: list[Advance | None]
+    ) -> None:
+        """All-lossless fast path: two tight per-lane passes, two kernels.
+
+        Receiver-count validation is fused with the delivery bookkeeping
+        (one loop instead of two); lane mutations before a later lane's
+        failure are harmless because any failure aborts the whole batch —
+        the bool coverage matrix, which is all the slow error path reads,
+        scatters only after the final aggregate check.
+        """
+        n = self.n
+        profile = self.profile
+        any_schedule = self.any_schedule
+        proposals: list[tuple[_Lane, Advance]] = []
+        propose = proposals.append
+        tx_flat: list[int] = []
+        tx_extend = tx_flat.extend
+        for lane, advance in zip(served, decisions):
+            if advance is None:
+                continue
+            if advance.time != lane.time:
+                raise ValueError(
+                    f"policy returned an advance for time {advance.time}, "
+                    f"expected {lane.time}"
+                )
+            color = advance.color
+            if not color <= lane.covered:
+                not_covered = color - lane.covered
+                raise ValueError(
+                    f"policy scheduled transmitters that do not hold the message: "
+                    f"{sorted(not_covered)}"
+                )
+            if any_schedule and lane.schedule is not None:
+                time = lane.time
+                asleep = [
+                    u for u in color if not lane.schedule.is_active(u, time)
+                ]
+                if asleep:
+                    raise ValueError(
+                        f"policy scheduled sleeping transmitters at slot "
+                        f"{time}: {sorted(asleep)}"
+                    )
+            # Kernel results are order-free, so plain dict gets suffice
+            # (covered ⊆ nodes, so the lookups cannot miss after the
+            # coverage check above).
+            index = lane.index
+            base = lane.base
+            tx_extend([base + index[u] for u in color])
+            propose((lane, advance))
+        if not proposals:
+            return
+
+        kernel_t0 = perf_counter() if profile is not None else 0.0
+        lane_rows, tx_cols = np.divmod(np.array(tx_flat, dtype=np.int64), n)
+        counts = stacked_hear_counts_at(self.adjacency, lane_rows, tx_cols)
+        conflicts, expected = stacked_receivers(counts, self.covered)
+        if profile is not None:
+            profile.kernel_s += perf_counter() - kernel_t0
+        row_counts = expected.sum(axis=1)
+
+        # Aggregate happy-path verdict for all lanes at once; the slow path
+        # re-checks per lane (conflicts before receiver equality, in served
+        # order) so errors match the per-lane kernel exactly.
+        happy = True
+        if conflicts.any():
+            happy = not any(
+                lane.check_conflicts and conflicts[lane.row]
+                for lane, _ in proposals
+            )
+        flat_idx: np.ndarray | None = None
+        if happy:
+            # Decode every expected receiver in the batch at once (flat
+            # coordinates + node ids, row-major); per-lane validation is
+            # then a pure set comparison — no per-node dict lookups — and
+            # the same coordinates drive the coverage scatter below.
+            flat_idx = np.flatnonzero(expected.reshape(-1))
+            ids = self.ids_flat[flat_idx].tolist()
+            bounds = np.cumsum(row_counts).tolist()
+            for lane, advance in proposals:
+                receivers = advance.receivers
+                row = lane.row
+                seg = ids[bounds[row - 1] if row else 0 : bounds[row]]
+                # Equal sizes plus superset over the (distinct) decoded ids
+                # is exactly set equality with the kernel's receivers.
+                if len(receivers) != len(seg) or not receivers.issuperset(seg):
+                    happy = False
+                    break
+                if seg:
+                    lane.covered.update(seg)
+                    lane.covered_count += len(seg)
+                    lane.end_time = lane.time
+                    lane.frontier_idx = None
+                lane.advances.append(advance)
+        if not happy:
+            self._validate_slow(
+                proposals, conflicts, expected, row_counts.tolist()
+            )
+            raise AssertionError(
+                "aggregate advance check failed but the per-lane validation "
+                "passed"
+            )  # pragma: no cover - _validate_slow always raises here
+
+        if profile is not None:
+            profile.advances += len(proposals)
+        if flat_idx is not None and len(flat_idx):
+            kernel_t0 = perf_counter() if profile is not None else 0.0
+            self.covered_flat[flat_idx] = True
+            if self.track_frontier:
+                self.uncovered_degree -= stacked_hear_counts_at(
+                    self.adjacency, *np.divmod(flat_idx, n)
+                )
+            if profile is not None:
+                profile.kernel_s += perf_counter() - kernel_t0
+
+    def _apply_mixed(
+        self, served: list[_Lane], decisions: list[Advance | None]
+    ) -> None:
+        """Generic path for batches containing lossy lanes."""
+        n = self.n
+        profile = self.profile
+        checked: list[tuple[_Lane, Advance, object]] = []
+        tx_flat: list[int] = []
+        for lane, advance in zip(served, decisions):
+            if advance is None:
+                continue
+            if advance.time != lane.time:
+                raise ValueError(
+                    f"policy returned an advance for time {advance.time}, "
+                    f"expected {lane.time}"
+                )
+            color = advance.color
+            if not color <= lane.covered:
+                not_covered = color - lane.covered
+                raise ValueError(
+                    f"policy scheduled transmitters that do not hold the message: "
+                    f"{sorted(not_covered)}"
+                )
+            if lane.schedule is not None:
+                time = lane.time
+                asleep = [
+                    u for u in color if not lane.schedule.is_active(u, time)
+                ]
+                if asleep:
+                    raise ValueError(
+                        f"policy scheduled sleeping transmitters at slot "
+                        f"{time}: {sorted(asleep)}"
+                    )
+            base = lane.base
+            if lane.link.lossless:
+                index = lane.index
+                tx_flat.extend([base + index[u] for u in color])
+                tx = None
+            else:
+                # Lossy lanes need the canonical sorted order: the link
+                # model consumes its RNG in candidate-pair order.
+                tx = lane.view.indices(color)
+                tx_flat.extend((base + tx).tolist())
+            checked.append((lane, advance, tx))
+        if not checked:
+            return
+
+        kernel_t0 = perf_counter() if profile is not None else 0.0
+        lane_rows, tx_cols = np.divmod(np.array(tx_flat, dtype=np.int64), n)
+        counts = stacked_hear_counts_at(self.adjacency, lane_rows, tx_cols)
+        conflicts, expected = stacked_receivers(counts, self.covered)
+        if profile is not None:
+            profile.kernel_s += perf_counter() - kernel_t0
+        expected_counts = expected.sum(axis=1).tolist()
+
+        happy = True
+        if conflicts.any():
+            happy = not any(
+                lane.check_conflicts and conflicts[lane.row]
+                for lane, _, _ in checked
+            )
+        recorded_flat: list[int] = []
+        # Per-lane flat segments: a lossy lane may deliver a subset, so the
+        # delivery loop needs each lane's validated coordinates.
+        segments: list[list[int]] = []
+        if happy:
+            try:
+                for lane, advance, _tx in checked:
+                    receivers = advance.receivers
+                    if len(receivers) != expected_counts[lane.row]:
+                        happy = False
+                        break
+                    index = lane.index
+                    base = lane.base
+                    segment = [base + index[u] for u in receivers]
+                    recorded_flat.extend(segment)
+                    segments.append(segment)
+            except KeyError:
+                happy = False
+        if happy and recorded_flat:
+            happy = bool(
+                expected.take(np.array(recorded_flat, dtype=np.int64)).all()
+            )
+        if not happy:
+            self._validate_slow(
+                [(lane, advance) for lane, advance, _tx in checked],
+                conflicts,
+                expected,
+                expected_counts,
+            )
+            raise AssertionError(
+                "aggregate advance check failed but the per-lane validation "
+                "passed"
+            )  # pragma: no cover - _validate_slow always raises here
+
+        if profile is not None:
+            profile.advances += len(checked)
+        delivered_flat: list[int] = []
+        for (lane, advance, tx), segment in zip(checked, segments):
             if lane.link.lossless:
                 recorded = advance
                 delivered = advance.receivers
-                delivered_idx = recorded_idx
+                delivered_segment = segment
             else:
                 delivered_bool = lane.link.deliver_bool(
                     lane.link_state,
                     lane.view,
-                    tx_idx,
+                    tx,
                     expected[lane.row],
                     self.covered[lane.row],
                 )
                 delivered = lane.view.nodes_from_bool(delivered_bool)
-                delivered_idx = np.flatnonzero(delivered_bool)
+                delivered_segment = (
+                    lane.base + np.flatnonzero(delivered_bool)
+                ).tolist()
                 recorded = dataclasses.replace(
                     advance,
                     receivers=delivered,
                     intended_receivers=advance.receivers,
                 )
             if delivered:
-                delivered_flat_parts.append(lane.row * n + delivered_idx)
-                lane.covered = lane.covered | delivered
+                delivered_flat.extend(delivered_segment)
+                lane.covered.update(delivered)
                 lane.covered_count += len(delivered)
                 lane.end_time = lane.time
                 lane.frontier_idx = None
             lane.advances.append(recorded)
-        if delivered_flat_parts:
-            delivered_flat = np.concatenate(delivered_flat_parts)
-            self.covered.reshape(-1)[delivered_flat] = True
+        if delivered_flat:
+            flat = np.array(delivered_flat, dtype=np.int64)
+            kernel_t0 = perf_counter() if profile is not None else 0.0
+            self.covered.reshape(-1)[flat] = True
             if self.track_frontier:
                 self.uncovered_degree -= stacked_hear_counts_at(
-                    self.adjacency, *np.divmod(delivered_flat, n)
+                    self.adjacency, *np.divmod(flat, n)
                 )
+            if profile is not None:
+                profile.kernel_s += perf_counter() - kernel_t0
 
     # ------------------------------------------------------------------
     def run(self) -> None:
-        active = []
-        for lane in self.lanes:
+        profile = self.profile
+        lanes = self.lanes
+        # Min-heap of (wake time, lane row): every lane is fast-forwarded
+        # to its next offered slot before (re-)entering the heap.  Lanes
+        # run on lane-local clocks, so every queued lane is due — each
+        # macro-step drains the whole heap in wake order, which keeps the
+        # stacked kernels at full stripe width while preserving a
+        # deterministic serve (and error) order.
+        heap: list[tuple[int, int]] = []
+        t0 = perf_counter() if profile is not None else 0.0
+        for lane in lanes:
             if lane.covered_count == lane.num_nodes:
                 lane.finish()
             else:
-                active.append(lane)
-        while active:
-            for lane in active:
                 self._compute_offer(lane)
-            proposals: list[tuple[_Lane, Advance]] = []
-            for lane in active:
-                state = BroadcastState.for_engine(
-                    lane.topology, lane.covered, lane.time, lane.schedule
-                )
-                advance = lane.policy.select_advance(state)
-                if advance is not None:
-                    proposals.append((lane, advance))
-            if proposals:
-                self._apply(proposals)
-            still_active = []
-            for lane in active:
-                lane.time += 1
+                heap.append((lane.time, lane.row))
+        heapq.heapify(heap)
+        if profile is not None:
+            profile.offer_s += perf_counter() - t0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while heap:
+            served: list[_Lane] = []
+            while heap:
+                lane = lanes[heappop(heap)[1]]
+                # Refresh the view clock while the lane is in hand (views
+                # alias the live covered set, so time is all that changes).
+                lane.state_view.time = lane.time
+                served.append(lane)
+            if profile is None:
+                decisions = self._select(served)
+            else:
+                t0 = perf_counter()
+                decisions = self._select(served)
+                profile.decide_s += perf_counter() - t0
+                profile.macro_steps += 1
+                profile.lanes_decided += len(served)
+            if profile is None:
+                self._apply(served, decisions)
+            else:
+                t0 = perf_counter()
+                self._apply(served, decisions)
+                profile.apply_s += perf_counter() - t0
+            t0 = perf_counter() if profile is not None else 0.0
+            for lane in served:
+                time = lane.time + 1
                 if lane.covered_count == lane.num_nodes:
+                    lane.time = time
                     lane.finish()
+                elif not lane.skip_idle:
+                    # Inlined no-idle-skip offer (the hot path: synchronous
+                    # lanes and plan-driven duty-cycle lanes) — identical to
+                    # _compute_offer minus the frontier-scan branch.
+                    hinted = lane.hint(time)
+                    if hinted is not None and hinted > time:
+                        time = hinted
+                    if time > lane.limit:
+                        raise _timeout(lane)
+                    lane.time = time
+                    heappush(heap, (time, lane.row))
                 else:
-                    still_active.append(lane)
-            active = still_active
+                    lane.time = time
+                    self._compute_offer(lane)
+                    heappush(heap, (lane.time, lane.row))
+            if profile is not None:
+                profile.offer_s += perf_counter() - t0
 
 
 def run_batched(
@@ -410,6 +840,8 @@ def run_batched(
     batch: int = 0,
     validate: bool = True,
     prepare: bool = True,
+    batch_decisions: bool = True,
+    profile: BatchProfile | None = None,
 ) -> list[BroadcastResult]:
     """Execute many independent broadcasts through the stacked kernel.
 
@@ -419,6 +851,17 @@ def run_batched(
     order.  Lanes are independent, so any grouping or chunking produces
     the bit-identical traces — ``batch`` is purely a memory/throughput
     knob (an ``(L, n, n)`` uint8 tensor per chunk).
+
+    ``batch_decisions`` selects the decision path: ``True`` (the default)
+    decides lane groups through
+    :meth:`~repro.core.policies.SchedulingPolicy.select_advance_batch`
+    over reusable :class:`~repro.core.advance.LaneStateView` objects;
+    ``False`` forces the legacy per-lane ``select_advance`` calls with a
+    fresh state per lane per slot.  Both paths are bit-identical by
+    contract (the conformance suites pin them against each other).
+
+    ``profile`` accumulates a per-phase timing split
+    (:class:`BatchProfile`) across every batch of the call.
 
     ``validate`` re-checks every trace against the network model (the
     vectorized validation backend), exactly like
@@ -436,7 +879,9 @@ def run_batched(
         for begin in range(0, len(members), chunk_size):
             chunk = members[begin : begin + chunk_size]
             lanes = [_Lane(task_list[index], prepare=prepare) for index in chunk]
-            _LaneBatch(lanes).run()
+            _LaneBatch(
+                lanes, batch_decisions=batch_decisions, profile=profile
+            ).run()
             for index, lane in zip(chunk, lanes):
                 results[index] = lane.result
     if validate:

@@ -152,6 +152,13 @@ class _EngineBase:
         full = self.topology.node_set
 
         while covered != full:
+            # Honour the policy's fast-forward hint before the limit check
+            # (the same order as every other backend): the hint promises
+            # select_advance answers None on the skipped slots, so jumping
+            # is trace-preserving.
+            hinted = policy.next_decision_slot(time)
+            if hinted is not None and hinted > time:
+                time = hinted
             if time > limit:
                 raise SimulationTimeout(
                     f"broadcast did not complete by time {limit} "

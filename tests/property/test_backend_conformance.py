@@ -20,11 +20,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro.baselines.approx17 import Approx17Policy
+from repro.baselines.flooding import FloodingPolicy
 from repro.core.policies import EModelPolicy
 from repro.dutycycle.models import build_wakeup_schedule, duty_model_names
 from repro.network.deployment import DeploymentConfig
 from repro.scenarios import generate_scenario, scenario_names
+from repro.sim.batched import BroadcastTask, run_batched
 from repro.sim.broadcast import run_broadcast
+from repro.sim.links import IndependentLossLinks
+from repro.sim.replay import ReplayPolicy
 from repro.sim.validation import validate_broadcast
 
 from .conftest import conformance_link_model
@@ -105,6 +110,75 @@ def test_conformance_smoke(engine_backend, link_model_name):
     """
     _run_matrix_cell(engine_backend, link_model_name, "uniform", None, seed=7)
     _run_matrix_cell(engine_backend, link_model_name, "uniform", "uniform", seed=7)
+
+
+def _decision_stripe(seed: int) -> list[BroadcastTask]:
+    """A heterogeneous stripe exercising every decision path of the executor.
+
+    Policies are stateful across a run, and ``IndependentLossLinks`` draws
+    from a seeded stream, so callers rebuild the stripe per execution —
+    the same seed always yields the bit-identical workload.  Per scenario:
+    a replay lane (vectorized batch decider), a 17-approx duty lane
+    (per-lane decider + ``next_decision_slot`` fast-forward), a flooding
+    lane under each link model (vectorized frontier decider, lossless and
+    lossy apply paths), and a frontier-policy duty lane (the per-lane
+    default fallback).
+    """
+    tasks: list[BroadcastTask] = []
+    for offset, scenario in enumerate(scenario_names()):
+        deployment = generate_scenario(scenario, _DEPLOY, seed=seed + offset)
+        topology, source = deployment.topology, deployment.source
+        schedule = build_wakeup_schedule(
+            topology.node_ids, rate=4, seed=seed + 50 + offset
+        )
+        trace = run_broadcast(
+            topology, source, EModelPolicy(), validate=False, engine="vectorized"
+        )
+        duty = dict(schedule=schedule, align_start=True)
+        tasks.extend(
+            (
+                BroadcastTask(topology, source, ReplayPolicy(trace)),
+                BroadcastTask(topology, source, Approx17Policy(), **duty),
+                BroadcastTask(topology, source, FloodingPolicy(), **duty),
+                BroadcastTask(
+                    topology,
+                    source,
+                    FloodingPolicy(),
+                    link_model=IndependentLossLinks(0.2, seed=seed + 90 + offset),
+                    **duty,
+                ),
+                BroadcastTask(topology, source, EModelPolicy(), **duty),
+            )
+        )
+    return tasks
+
+
+@pytest.mark.slow_property
+def test_batched_decisions_match_fallback():
+    """``batch_decisions=True`` is bit-identical to the per-lane fallback.
+
+    The contract of the batched decision protocol: any batch size, lane
+    grouping, or decision path returns the per-lane traces exactly.  The
+    chunkings pin the edge cases — one whole-group batch, lane batches of
+    one (every decider sees singleton views), and ``L - 1`` (one group is
+    split mid-stripe).
+    """
+    seed = 31
+    lane_count = len(_decision_stripe(seed))
+    for batch in (0, 1, lane_count - 1):
+        expected = run_batched(
+            _decision_stripe(seed),
+            batch=batch,
+            batch_decisions=False,
+            validate=False,
+        )
+        actual = run_batched(
+            _decision_stripe(seed), batch=batch, validate=False
+        )
+        assert actual == expected, (
+            f"batched decisions diverged from the per-lane fallback "
+            f"(batch={batch})"
+        )
 
 
 def test_reference_matrix_traces_validate(link_model_name):

@@ -137,3 +137,41 @@ class TestApprox17Policy:
         )
         depth = max(topo.hop_distances(source).values())
         assert result.latency <= 17 * max_cwt(10) * depth
+
+
+class TestNextDecisionSlot:
+    """The fast-forward hint's promise: no advance strictly before it."""
+
+    def test_unprepared_policy_makes_no_promise(self, figure1):
+        assert Approx17Policy().next_decision_slot(1) is None
+
+    def test_hint_is_first_pending_parent_wakeup(self, small_deployment, duty_schedule_factory):
+        topo, source = small_deployment
+        schedule = duty_schedule_factory(topo, rate=10)
+        policy = Approx17Policy()
+        policy.prepare(topo, schedule, source)
+        hint = policy.next_decision_slot(1)
+        # Right after prepare the only pending layer-0 parent is the source,
+        # so the hint is exactly the source's first wake-up slot.
+        assert hint == schedule.next_active_slot(source, 1)
+        # The promise: select_advance answers None on every slot before the
+        # hint (the pending parent is asleep there).
+        for slot in range(1, hint):
+            state = BroadcastState(
+                topo, frozenset({source}), time=slot, schedule=schedule
+            )
+            assert policy.select_advance(state) is None
+
+    def test_hinted_trace_matches_unhinted_engines(self, small_deployment, duty_schedule_factory):
+        """Engines honoring the hint reproduce the reference trace exactly."""
+        topo, source = small_deployment
+        schedule = duty_schedule_factory(topo, rate=10)
+        reference = run_broadcast(
+            topo, source, Approx17Policy(), schedule=schedule,
+            align_start=True, engine="reference",
+        )
+        for engine in ("vectorized", "batched"):
+            assert run_broadcast(
+                topo, source, Approx17Policy(), schedule=schedule,
+                align_start=True, engine=engine,
+            ) == reference

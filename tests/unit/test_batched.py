@@ -182,6 +182,153 @@ def test_batched_engine_timeout_message_matches_vectorized() -> None:
     assert str(batched_err.value) == str(vectorized_err.value)
 
 
+def test_lane_state_view_duck_types_broadcast_state() -> None:
+    """A view answers the policy-facing read surface exactly like a state."""
+    from repro.core.advance import BroadcastState, LaneStateView
+
+    topology, source = _deployment(seed=21)
+    schedule = build_wakeup_schedule(topology.node_ids, rate=3, seed=21)
+    covered = frozenset(list(sorted(topology.node_ids))[:5]) | {source}
+    time = schedule.next_active_slot(source, 1)
+    state = BroadcastState(topology, covered, time, schedule=schedule)
+    policy = EModelPolicy()
+    view = LaneStateView(
+        topology, schedule, policy, covered=covered, time=time
+    )
+    assert view.uncovered == state.uncovered
+    assert view.is_complete == state.is_complete
+    assert not view.is_synchronous and not state.is_synchronous
+    assert view.awake(covered) == state.awake(covered)
+    assert LaneStateView(topology, None, policy).is_synchronous
+    # The fallback decision through the view equals the state-based one.
+    policy.prepare(topology, schedule, source)
+    assert policy.select_advance(view) == policy.select_advance(state)
+
+
+def test_select_advance_batch_default_dispatches_per_view_policy() -> None:
+    """The default batch decider consults ``view.policy``, not ``self``."""
+    from repro.core.advance import BroadcastState, LaneStateView
+
+    topology, source = _deployment(seed=22)
+    covered = frozenset({source})
+    policies = [EModelPolicy(), LargestFirstPolicy()]
+    for policy in policies:
+        policy.prepare(topology, None, source)
+    views = [
+        LaneStateView(topology, None, policy, covered=covered, time=1)
+        for policy in policies
+    ]
+    # Dispatch the whole mixed group through the *first* policy's default.
+    decisions = policies[0].select_advance_batch(views)
+    expected = [policy.select_advance(views[i]) for i, policy in enumerate(policies)]
+    assert decisions == expected
+    # Plain states carry no ``policy`` attribute: the default decides with
+    # ``self``.
+    state = BroadcastState(topology, covered, 1)
+    assert policies[0].select_advance_batch([state]) == [
+        policies[0].select_advance(state)
+    ]
+
+
+def test_run_batched_rejects_wrong_length_batch_decisions() -> None:
+    """A decider returning the wrong number of decisions is an error, not a
+    silently truncated ``zip``."""
+
+    class ShortDecider(EModelPolicy):
+        def select_advance_batch(self, views):
+            return super().select_advance_batch(views)[:-1]
+
+    topology, source = _deployment(seed=23)
+    tasks = [
+        BroadcastTask(topology, source, ShortDecider()),
+        BroadcastTask(topology, source, ShortDecider()),
+    ]
+    with pytest.raises(ValueError, match="decisions"):
+        run_batched(tasks, validate=False)
+
+
+def test_run_batched_fallback_protocol_matches_batched_decisions() -> None:
+    topology, source = _deployment(seed=24)
+    schedule = build_wakeup_schedule(topology.node_ids, rate=4, seed=24)
+
+    def make_tasks():
+        return [
+            BroadcastTask(
+                topology, source, factory(), schedule=schedule, align_start=True
+            )
+            for factory in (EModelPolicy, GreedyOptPolicy, LargestFirstPolicy)
+        ]
+
+    assert run_batched(make_tasks(), batch_decisions=False) == run_batched(
+        make_tasks()
+    )
+
+
+def test_run_batched_honors_next_decision_slot() -> None:
+    """The fast-forward hint prunes decisions without changing the trace."""
+    from repro.sim.batched import BatchProfile
+    from repro.sim.replay import ReplayPolicy
+
+    # Both variants opt out of the frontier idle-scan so the wake-time
+    # hint is the only pruning mechanism under test.
+    class HintedReplay(ReplayPolicy):
+        def __init__(self, trace):
+            super().__init__(trace)
+            self.frontier_driven = False
+
+    class UnhintedReplay(HintedReplay):
+        def next_decision_slot(self, time):
+            return None
+
+    topology, source = _deployment(seed=25)
+    schedule = build_wakeup_schedule(topology.node_ids, rate=6, seed=25)
+    trace = run_broadcast(
+        topology,
+        source,
+        EModelPolicy(),
+        schedule=schedule,
+        align_start=True,
+        engine="vectorized",
+    )
+    kwargs = dict(schedule=schedule, align_start=True)
+    hinted_profile, unhinted_profile = BatchProfile(), BatchProfile()
+    (hinted,) = run_batched(
+        [BroadcastTask(topology, source, HintedReplay(trace), **kwargs)],
+        profile=hinted_profile,
+    )
+    (unhinted,) = run_batched(
+        [BroadcastTask(topology, source, UnhintedReplay(trace), **kwargs)],
+        profile=unhinted_profile,
+    )
+    assert hinted == unhinted == trace
+    # The replay knows its transmission slots exactly, so the hinted lane
+    # is decided once per advance; the unhinted lane is offered every slot.
+    assert hinted_profile.lanes_decided == hinted_profile.advances
+    assert unhinted_profile.lanes_decided > hinted_profile.lanes_decided
+
+
+def test_batch_profile_accounts_phases_and_merges() -> None:
+    from repro.sim.batched import BatchProfile
+
+    topology, source = _deployment(seed=26)
+    profile = BatchProfile()
+    run_batched(
+        [BroadcastTask(topology, source, EModelPolicy())], profile=profile
+    )
+    assert profile.macro_steps > 0
+    assert profile.advances > 0
+    assert profile.lanes_decided >= profile.advances
+    assert profile.total_s == profile.offer_s + profile.decide_s + profile.apply_s
+    assert profile.bookkeeping_s >= 0.0
+    merged = BatchProfile()
+    merged.merge(profile)
+    merged.merge(profile)
+    assert merged.macro_steps == 2 * profile.macro_steps
+    assert merged.lanes_decided == 2 * profile.lanes_decided
+    assert merged.advances == 2 * profile.advances
+    assert merged.total_s == pytest.approx(2 * profile.total_s)
+
+
 def test_batched_engine_multi_source_inherits_vectorized_path() -> None:
     topology, source = _deployment(seed=14)
     others = sorted(set(topology.node_ids) - {source})

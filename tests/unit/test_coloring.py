@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.coloring import (
     ColorScheme,
+    cached_greedy_color_classes,
     conflict_graph,
     enumerate_color_classes,
     frontier_candidates,
@@ -195,3 +196,28 @@ class TestColorScheme:
         topo, source = figure1
         covered = frozenset({source, 0, 1, 2})
         assert ColorScheme().num_colors(topo, covered) == 3
+
+
+class TestCachedGreedyColorClasses:
+    def test_matches_uncached_result(self, figure1):
+        topo, source = figure1
+        covered = frozenset({source, 0})
+        assert cached_greedy_color_classes(topo, covered) == greedy_color_classes(
+            topo, covered
+        )
+
+    def test_repeat_call_returns_cached_object(self, figure1):
+        topo, source = figure1
+        covered = frozenset({source, 1})
+        first = cached_greedy_color_classes(topo, covered)
+        assert cached_greedy_color_classes(topo, covered) is first
+        # A mutable covered set hits the same entry as its frozen twin.
+        assert cached_greedy_color_classes(topo, set(covered)) is first
+
+    def test_awake_restriction_is_part_of_the_key(self, figure1):
+        topo, source = figure1
+        covered = frozenset({source, 0, 1})
+        unrestricted = cached_greedy_color_classes(topo, covered)
+        restricted = cached_greedy_color_classes(topo, covered, awake={source})
+        assert restricted == greedy_color_classes(topo, covered, awake={source})
+        assert cached_greedy_color_classes(topo, covered) is unrestricted

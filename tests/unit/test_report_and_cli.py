@@ -152,6 +152,26 @@ class TestScenarioCli:
         assert "policy,system,rate,scenario,duty_model" in output
         assert ",ring,two-tier," in output
 
+    def test_sweep_profile_prints_phase_split(self, capsys):
+        exit_code = main(
+            ["sweep", "--nodes", "50", "--repetitions", "1",
+             "--engine", "batched", "--profile"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "profile: kernel" in output
+        assert "policy decisions" in output
+        assert "bookkeeping" in output
+        assert "macro-steps" in output
+
+    def test_sweep_profile_without_batched_engine_notes_no_stripes(self, capsys):
+        exit_code = main(
+            ["sweep", "--nodes", "24", "--repetitions", "1",
+             "--engine", "vectorized", "--profile"]
+        )
+        assert exit_code == 0
+        assert "profile: no batched stripes ran" in capsys.readouterr().out
+
     def test_sweep_output_worker_invariant(self, capsys):
         argv = ["sweep", "--scenario", "clustered", "--nodes", "24",
                 "--repetitions", "1", "--rate", "5", "--engine", "vectorized"]

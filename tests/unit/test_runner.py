@@ -164,6 +164,39 @@ class TestBatchedStripes:
         )
         assert batched.records == expected.records
 
+    def test_profile_accumulates_and_preserves_records(
+        self, tiny_config, fast_policies, vectorized_sweep
+    ):
+        from repro.sim.batched import BatchProfile
+
+        config = dataclasses.replace(tiny_config, engine="batched")
+        profile = BatchProfile()
+        # workers=2 would normally dispatch stripes to a pool; profiling
+        # forces in-process execution so the accumulator sees every batch.
+        profiled = run_sweep(
+            config,
+            system="sync",
+            policies=fast_policies,
+            workers=2,
+            profile=profile,
+        )
+        assert profiled.records == vectorized_sweep.records
+        assert profile.macro_steps > 0
+        assert profile.advances > 0
+        assert profile.lanes_decided >= profile.advances
+
+    def test_profile_stays_empty_off_the_stripe_path(self, tiny_config):
+        from repro.sim.batched import BatchProfile
+
+        profile = BatchProfile()
+        run_sweep(
+            dataclasses.replace(tiny_config, engine="vectorized"),
+            system="sync",
+            policies={"E-model": EModelPolicy},
+            profile=profile,
+        )
+        assert profile.macro_steps == 0
+
     def test_batched_store_roundtrip(self, tiny_config, fast_policies, tmp_path):
         from repro.store import ExperimentStore
 
