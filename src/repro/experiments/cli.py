@@ -52,6 +52,16 @@ proved bounds (exit code 1 if any ratio claim fails)::
     mlbs-experiments ratio
     mlbs-experiments ratio --system sync --solver branch-and-bound
 
+Distribute a sweep over a worker fleet with the ``fabric`` target: one
+coordinator leases the grid's missing cells out over HTTP, any number of
+workers (on any machine that can reach it) claim, simulate and post them
+back, and the records land in the shared store — bit-identical to a local
+run (see docs/fabric.md)::
+
+    mlbs-experiments fabric serve --store results/store --port 8765
+    mlbs-experiments fabric work --url http://127.0.0.1:8765
+    mlbs-experiments fabric status --url http://127.0.0.1:8765
+
 Discover the registered workloads and solver tiers::
 
     mlbs-experiments --list-scenarios
@@ -65,8 +75,10 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro.dutycycle.models import duty_model_names, list_duty_models
@@ -79,7 +91,15 @@ from repro.experiments.report import (
     store_summary_text,
     summary_claims,
 )
-from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.runner import SweepResult, run_sweep, sweep_cells
+from repro.fabric import (
+    DEFAULT_LEASE_TTL,
+    FabricCoordinator,
+    FabricHTTPServer,
+    FabricWorker,
+    HttpTransport,
+    TransportError,
+)
 from repro.network.sources import placement_names
 from repro.scenarios import list_scenarios, scenario_names
 from repro.sim.batched import BatchProfile
@@ -174,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
             "ratio",
             "sweep",
             "store",
+            "fabric",
             "all",
         ],
         help=(
@@ -185,7 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
             "energy per policy); 'ratio' runs the approximation-ratio study "
             "(observed latency / exact optimum vs the proved bounds, exit "
             "code 1 if a ratio claim fails); 'store' manages a persistent "
-            "experiment store (see the 'action' positional); 'all' covers "
+            "experiment store (see the 'action' positional); 'fabric' runs a "
+            "distributed sweep over a coordinator/worker fleet (see the "
+            "'action' positional and docs/fabric.md); 'all' covers "
             "the paper's figures, tables and claims"
         ),
     )
@@ -193,12 +216,15 @@ def build_parser() -> argparse.ArgumentParser:
         "action",
         nargs="?",
         default=None,
-        choices=["stats", "gc", "export"],
+        choices=["stats", "gc", "export", "serve", "work", "status"],
         help=(
-            "subcommand of the 'store' target: 'stats' summarises the cached "
+            "subcommand of the 'store' target — 'stats' summarises the cached "
             "cells, 'gc' prunes unreachable entries (dangling rows, orphan "
             "shards, old schema versions), 'export' dumps every cached record "
-            "(--format, --output)"
+            "(--format, --output) — or of the 'fabric' target: 'serve' runs "
+            "the coordinator for one sweep grid until every cell is in the "
+            "store, 'work' runs one worker against a coordinator --url, "
+            "'status' prints a coordinator's live status JSON"
         ),
     )
     parser.add_argument(
@@ -346,6 +372,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="write 'store export' to this file instead of stdout",
     )
     parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="coordinator base URL for 'fabric work' and 'fabric status'",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address of 'fabric serve' (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port of 'fabric serve' (default: 0 = pick a free port)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help=(
+            "seconds before an unheartbeated fabric lease expires and its "
+            f"cell is requeued (default: {DEFAULT_LEASE_TTL:g})"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "fabric attempts per cell before it is quarantined as a poison "
+            "cell (default: 5)"
+        ),
+    )
+    parser.add_argument(
+        "--linger",
+        type=float,
+        default=3.0,
+        metavar="SECONDS",
+        help=(
+            "how long 'fabric serve' keeps answering after the grid is done, "
+            "so polling workers see a clean 'done' instead of a vanished "
+            "coordinator (default: 3)"
+        ),
+    )
+    parser.add_argument(
+        "--status-file",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "'fabric serve'/'fabric status': also write the coordinator "
+            "status JSON to this file"
+        ),
+    )
+    parser.add_argument(
+        "--worker-name",
+        default=None,
+        metavar="NAME",
+        help="worker identity reported by 'fabric work' (default: host-pid)",
+    )
+    parser.add_argument(
         "--solver",
         choices=solver_names(),
         default=None,
@@ -465,6 +555,93 @@ def _emit(name: str, text: str, csv: str | None, csv_dir: Path | None) -> None:
         print(f"[wrote {path}]")
 
 
+def _write_status(status: dict, path: Path | None) -> None:
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(status, indent=2, sort_keys=True) + "\n")
+
+
+def _status_line(status: dict) -> str:
+    counts = status["counts"]
+    return (
+        f"fabric: {counts['completed']}/{status['total']} cells done "
+        f"(pending {counts['pending']}, leased {counts['leased']}, "
+        f"quarantined {counts['quarantined']}); "
+        f"{len(status['workers'])} worker(s) seen"
+    )
+
+
+def _run_fabric(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``fabric serve|work|status`` actions (exit code as documented)."""
+    if args.action == "serve":
+        if args.store is None:
+            parser.error("'fabric serve' requires --store PATH (the shared store)")
+        config = _config_from_args(args)
+        cells = sweep_cells(config, system=args.system, rate=args.rate)
+        with ExperimentStore(args.store) as store:
+            coordinator = FabricCoordinator(
+                cells,
+                store=store,
+                resume=args.resume,
+                lease_ttl=args.lease_ttl,
+                max_attempts=args.max_attempts,
+            )
+            with FabricHTTPServer(
+                coordinator, host=args.host, port=args.port
+            ) as server:
+                print(f"fabric serve: {server.url} ({len(cells)} cells)", flush=True)
+                last = ""
+                while True:
+                    coordinator.tick()
+                    status = coordinator.status()
+                    line = _status_line(status)
+                    if line != last:
+                        print(line, file=sys.stderr, flush=True)
+                        last = line
+                    counts = status["counts"]
+                    if counts["pending"] == 0 and counts["leased"] == 0:
+                        # Grace period: workers poll every couple of seconds,
+                        # so answering a little longer turns their last claim
+                        # into a clean "done" instead of a dead socket.
+                        time.sleep(max(args.linger, 0.0))
+                        break
+                    time.sleep(0.2)
+            status = coordinator.status()
+            _write_status(status, args.status_file)
+            quarantined = coordinator.quarantined
+        if quarantined:
+            for index, reason in sorted(quarantined.items()):
+                print(f"fabric: cell {index} quarantined: {reason}", file=sys.stderr)
+            return 1
+        print(_status_line(status), flush=True)
+        return 0
+
+    if args.url is None:
+        parser.error(f"'fabric {args.action}' requires --url (the coordinator)")
+    transport = HttpTransport(args.url)
+    try:
+        if args.action == "status":
+            status = transport.request("status", {})
+            _write_status(status, args.status_file)
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        name = args.worker_name or f"{os.uname().nodename}-{os.getpid()}"
+        worker = FabricWorker(transport, name=name)
+        stats = worker.run()
+        print(
+            f"fabric work: {name} completed {stats.completed} cell(s) "
+            f"({stats.claims} claims, {stats.duplicates} duplicates, "
+            f"{stats.rejected} rejected, {stats.abandoned} abandoned, "
+            f"{stats.transport_errors} transport errors)"
+        )
+        return 0
+    except TransportError as error:
+        print(f"fabric {args.action}: {error}", file=sys.stderr)
+        return 1
+    finally:
+        transport.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -499,7 +676,14 @@ def main(argv: list[str] | None = None) -> int:
     # non-default tier changes the sweep away from the paper's workload.
     if args.solver not in (None, "heuristic"):
         non_paper.append("--solver")
-    workload_targets = ("sweep", "scenarios", "reliability", "multisource", "ratio")
+    workload_targets = (
+        "sweep",
+        "scenarios",
+        "reliability",
+        "multisource",
+        "ratio",
+        "fabric",
+    )
     if non_paper and args.target not in workload_targets:
         parser.error(
             f"{'/'.join(non_paper)} only applies to the 'sweep', 'scenarios', "
@@ -527,14 +711,23 @@ def main(argv: list[str] | None = None) -> int:
             "of the 'multisource' target"
         )
 
-    if args.action is not None and args.target != "store":
+    store_actions = ("stats", "gc", "export")
+    fabric_actions = ("serve", "work", "status")
+    if args.action is not None and args.target not in ("store", "fabric"):
         parser.error(
-            "the stats/gc/export action only applies to the 'store' target"
+            "the stats/gc/export action only applies to the 'store' target, "
+            "and serve/work/status to the 'fabric' target"
         )
+    if args.target == "fabric":
+        if args.action not in fabric_actions:
+            parser.error(
+                "the 'fabric' target requires an action: serve, work or status"
+            )
+        return _run_fabric(args, parser)
     if args.target == "store":
         if args.store is None:
             parser.error("the 'store' target requires --store PATH")
-        if args.action is None:
+        if args.action not in store_actions:
             parser.error("the 'store' target requires an action: stats, gc or export")
         with ExperimentStore(args.store) as target_store:
             if args.action == "stats":
@@ -546,7 +739,9 @@ def main(argv: list[str] | None = None) -> int:
                     f"(dangling rows {removed.dangling_rows}, "
                     f"orphan shards {removed.orphan_shards}, "
                     f"stale-schema cells {removed.stale_schema_cells}, "
-                    f"temp files {removed.temp_files})"
+                    f"temp files {removed.temp_files}); "
+                    f"{removed.in_flight_temp_files} in-flight temp file(s) "
+                    "left for their writer"
                 )
             else:
                 text = target_store.export(args.format)

@@ -82,7 +82,14 @@ from repro.solvers.registry import SOLVER_TIERS
 from repro.store import ExperimentStore, cell_key_for
 from repro.utils.rng import derive_seed
 
-__all__ = ["RunRecord", "SweepResult", "run_sweep", "default_policies", "SweepCell"]
+__all__ = [
+    "RunRecord",
+    "SweepResult",
+    "run_sweep",
+    "default_policies",
+    "SweepCell",
+    "sweep_cells",
+]
 
 PolicyFactory = Callable[[], SchedulingPolicy]
 
@@ -565,6 +572,39 @@ def _run_stripe(
     return results
 
 
+def sweep_cells(
+    config: SweepConfig,
+    *,
+    system: str = "sync",
+    rate: int = 10,
+    engine: str | None = None,
+    policies: Mapping[str, PolicyFactory] | None = None,
+) -> list[SweepCell]:
+    """The sweep's grid as independently executable cells, in serial order.
+
+    Exactly the cells (and the order) ``run_sweep`` would build for the
+    same arguments — the shared vocabulary between the runner and the
+    fabric coordinator, which partitions and leases this list to a worker
+    fleet (:mod:`repro.fabric`).
+    """
+    if system not in ("sync", "duty"):
+        raise ValueError(f"unknown system {system!r}; expected 'sync' or 'duty'")
+    frozen_policies = None if policies is None else tuple(policies.items())
+    return [
+        SweepCell(
+            config=config,
+            system=system,
+            rate=rate if system == "duty" else 1,
+            num_nodes=num_nodes,
+            repetition=repetition,
+            engine=config.engine if engine is None else engine,
+            policies=frozen_policies,
+        )
+        for num_nodes in config.node_counts
+        for repetition in range(config.repetitions)
+    ]
+
+
 def _resolve_workers(workers: int) -> int:
     """Map the ``workers`` knob to a concrete process count (0 = per CPU)."""
     if workers == 0:
@@ -584,6 +624,7 @@ def run_sweep(
     resume: bool = True,
     progress: Callable[[str], None] | None = None,
     profile: BatchProfile | None = None,
+    fabric: object | None = None,
 ) -> SweepResult:
     """Run the full sweep and return the collected records.
 
@@ -636,6 +677,17 @@ def run_sweep(
         The accumulator stays empty when the sweep does not take the
         batched stripe path (other engines, multi-source or exact-solver
         grids, or every cell already cached).
+    fabric:
+        Optional fabric executor (:class:`repro.fabric.LocalFleet`, or any
+        object with the same ``execute(cells, store=...)`` method): the
+        missing cells are leased out to a coordinator/worker fleet instead
+        of the process pool, and the coordinator commits each cell to
+        ``store`` as it is validated.  Reassembly stays in serial cell
+        order, so the records are bit-identical to a pool (or in-process)
+        run for any fleet size, worker arrival order, or crash/retry
+        history — the fabric determinism contract (see ``docs/fabric.md``).
+        Requires the default policy line-up (custom factories cannot cross
+        the fabric wire).
     """
     effective_workers = _resolve_workers(
         config.workers if workers is None else workers
@@ -702,7 +754,20 @@ def run_sweep(
             store.put(keys[index], records)
 
     missing = [index for index in range(len(cells)) if index not in per_cell]
-    if missing and effective_engine == "batched" and _stripe_eligible(config):
+    if missing and fabric is not None:
+        # Fabric mode: lease the missing cells out to a coordinator/worker
+        # fleet.  The coordinator validates and commits each cell into the
+        # store itself (idempotently, by digest), so the runner skips its
+        # own write-back and only reassembles in serial order.
+        if frozen_policies is not None:
+            raise ValueError(
+                "fabric execution requires the default policy line-up; "
+                "custom policy factories cannot cross the fabric wire"
+            )
+        batches = fabric.execute([cells[index] for index in missing], store=store)
+        for index, records in zip(missing, batches):
+            per_cell[index] = records
+    elif missing and effective_engine == "batched" and _stripe_eligible(config):
         # Stripe planner: group the missing cells by node count (stacked
         # lanes need one shape) and run each stripe through the batched
         # executor.  Stripes — not cells — are the pool work units; the

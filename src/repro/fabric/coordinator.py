@@ -1,0 +1,355 @@
+"""The fabric coordinator: missing-cell partitioning, leases, atomic commits.
+
+One coordinator owns one grid of :class:`~repro.experiments.runner.SweepCell`
+work items.  At start-up it partitions the grid against the store's
+content-addressed cache keys — already-cached cells are completed before any
+worker connects, so a **coordinator restart is just a re-partition**: the
+queue is rebuilt from the store delta and the sweep continues where it
+stopped, with failure history (attempt counts, quarantined cells) restored
+from a small JSON state file next to the store.
+
+Workers talk to the coordinator through four request types (served over
+HTTP by :class:`~repro.fabric.server.FabricHTTPServer`, or called directly
+via :class:`~repro.fabric.transport.LocalTransport`):
+
+========== ============================================= =================================
+action     request payload                               response
+========== ============================================= =================================
+claim      ``{"worker"}``                                ``lease`` grant / ``wait`` / ``done``
+heartbeat  ``{"lease"}``                                  ``{"status": "ok", "valid"}``
+result     ``{"lease", "index", "digest", "records"}``   ``committed`` / ``duplicate`` / ``rejected``
+status     ``{}``                                        full fleet/queue status object
+========== ============================================= =================================
+
+A posted result is **validated before it is committed**: the echoed digest
+must match the coordinator's own cell key, the record batch must decode,
+and its shape (policy line-up, cell coordinates) must match the leased
+cell.  A valid result commits atomically to the store keyed by the cell
+digest — so duplicate and late posts are idempotent by construction — and a
+bad result charges the lease's retry budget exactly like a crash, feeding
+the poison-cell quarantine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from repro.experiments.runner import default_policies
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    FabricError,
+    cell_to_payload,
+    records_from_payload,
+)
+from repro.fabric.queue import DEFAULT_LEASE_TTL, LeaseQueue
+from repro.store import cell_key_for
+from repro.utils.serialization import atomic_write_text, canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import RunRecord, SweepCell
+    from repro.store import ExperimentStore
+
+__all__ = ["FabricCoordinator", "STATE_FILE_NAME"]
+
+#: Name of the queue-state journal written next to the store's index.
+STATE_FILE_NAME = "fabric-state.json"
+
+
+class FabricCoordinator:
+    """Serve one grid of sweep cells to a worker fleet.
+
+    Parameters
+    ----------
+    cells:
+        The grid in serial order; positions in this sequence are the cell
+        indices of the whole protocol.
+    store:
+        Optional :class:`~repro.store.ExperimentStore`.  With a store,
+        results commit through :meth:`ExperimentStore.put` (content-keyed,
+        so commits are idempotent), already-cached cells are completed at
+        start-up (``resume``), and the failure history persists across
+        coordinator restarts.  Without one, results are kept in memory only.
+    resume:
+        Complete cells already present in the store at start-up (default).
+    lease_ttl, max_attempts, backoff_s, clock:
+        Lease state-machine knobs, passed to :class:`LeaseQueue`.
+    """
+
+    def __init__(
+        self,
+        cells: "Sequence[SweepCell]",
+        *,
+        store: "ExperimentStore | None" = None,
+        resume: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = 5,
+        backoff_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._cells = list(cells)
+        self._store = store
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._line_ups: list[tuple[str, ...]] = []
+        self._keys = []
+        for cell in self._cells:
+            if cell.policies is not None:
+                names = tuple(name for name, _ in cell.policies)
+            else:
+                names = tuple(default_policies(cell.config, cell.system))
+            self._line_ups.append(names)
+            self._keys.append(
+                cell_key_for(
+                    cell.config,
+                    system=cell.system,
+                    rate=cell.rate,
+                    num_nodes=cell.num_nodes,
+                    repetition=cell.repetition,
+                    policies=names,
+                )
+            )
+        self._records: dict[int, list[RunRecord]] = {}
+        self._workers: dict[str, dict[str, float | int]] = {}
+        self._started_at = clock()
+        self._queue = LeaseQueue(
+            range(len(self._cells)),
+            lease_ttl=lease_ttl,
+            max_attempts=max_attempts,
+            backoff_s=backoff_s,
+            clock=clock,
+        )
+        # Restart persistence: failure history first (so a quarantined cell
+        # stays quarantined), then the store delta (so a *completed* cell —
+        # even one that was quarantined before a late result rescued it —
+        # is simply done).
+        self._load_state()
+        if store is not None and resume:
+            for index, key in enumerate(self._keys):
+                if store.contains(key):
+                    self._queue.complete(index)
+
+    # -- fleet-facing API --------------------------------------------------
+
+    def handle_request(self, action: str, payload: Mapping) -> dict:
+        """Dispatch one protocol request; the transports' single entry point."""
+        with self._lock:
+            if action == "claim":
+                return self._claim(payload)
+            if action == "heartbeat":
+                return self._heartbeat(payload)
+            if action == "result":
+                return self._result(payload)
+            if action == "status":
+                return self.status()
+            raise FabricError(
+                f"unknown fabric action {action!r}; expected claim, "
+                "heartbeat, result or status"
+            )
+
+    def tick(self) -> None:
+        """Advance lease expiry without a worker request (the serve loop)."""
+        with self._lock:
+            before = self._queue.counts()
+            self._queue.expire()
+            if self._queue.counts() != before:
+                self._save_state()
+
+    # -- request handlers (lock held) --------------------------------------
+
+    def _claim(self, payload: Mapping) -> dict:
+        worker = str(payload.get("worker", "anonymous"))
+        now = self._clock()
+        stats = self._workers.setdefault(
+            worker, {"claims": 0, "completed": 0, "failures": 0, "last_seen": now}
+        )
+        stats["last_seen"] = now
+        lease = self._queue.claim(worker, now)
+        if lease is not None:
+            stats["claims"] += 1
+            return {
+                "status": "lease",
+                "lease": lease.lease_id,
+                "index": lease.index,
+                "digest": self._keys[lease.index].digest,
+                "lease_ttl": self._queue.lease_ttl,
+                "cell": cell_to_payload(self._cells[lease.index]),
+            }
+        if self._queue.done:
+            counts = self._queue.counts()
+            return {
+                "status": "done",
+                "completed": counts["completed"],
+                "quarantined": counts["quarantined"],
+            }
+        return {
+            "status": "wait",
+            "retry_after": self._queue.next_event_in(now),
+        }
+
+    def _heartbeat(self, payload: Mapping) -> dict:
+        lease_id = str(payload.get("lease", ""))
+        valid = self._queue.heartbeat(lease_id, self._clock())
+        return {"status": "ok", "valid": valid}
+
+    def _result(self, payload: Mapping) -> dict:
+        now = self._clock()
+        worker = str(payload.get("worker", "anonymous"))
+        stats = self._workers.setdefault(
+            worker, {"claims": 0, "completed": 0, "failures": 0, "last_seen": now}
+        )
+        stats["last_seen"] = now
+        lease_id = str(payload.get("lease", ""))
+        try:
+            index = int(payload["index"])
+            if not 0 <= index < len(self._cells):
+                raise ValueError(f"cell index {index} out of range")
+            records = self._validate_result(index, payload)
+        except (KeyError, TypeError, ValueError) as error:
+            # A malformed or wrong result spends the lease's retry budget
+            # exactly like a crash: repeat offenders poison-quarantine.
+            self._queue.fail(lease_id, f"rejected result: {error}", now)
+            stats["failures"] += 1
+            self._save_state()
+            return {"status": "rejected", "reason": str(error)}
+        outcome = self._queue.complete(index, now)
+        if outcome == "committed":
+            if self._store is not None:
+                self._store.put(self._keys[index], records)
+            self._records[index] = records
+            stats["completed"] += 1
+            self._save_state()
+        return {"status": outcome}
+
+    def _validate_result(self, index: int, payload: Mapping) -> "list[RunRecord]":
+        """Decode and cross-check one posted record batch against its cell."""
+        digest = payload.get("digest")
+        expected = self._keys[index].digest
+        if digest != expected:
+            raise ValueError(
+                f"digest mismatch for cell {index}: posted {str(digest)[:16]!r}, "
+                f"expected {expected[:16]!r} (stale config or wrong cell)"
+            )
+        records = records_from_payload(payload["records"])
+        cell = self._cells[index]
+        names = self._line_ups[index]
+        if tuple(r.policy for r in records) != names:
+            raise ValueError(
+                f"policy line-up mismatch for cell {index}: got "
+                f"{[r.policy for r in records]}, expected {list(names)}"
+            )
+        for record in records:
+            if (
+                record.system != cell.system
+                or record.rate != cell.rate
+                or record.num_nodes != cell.num_nodes
+                or record.repetition != cell.repetition
+            ):
+                raise ValueError(
+                    f"record coordinates do not match cell {index}: "
+                    f"({record.system}, r={record.rate}, n={record.num_nodes}, "
+                    f"rep={record.repetition}) vs ({cell.system}, "
+                    f"r={cell.rate}, n={cell.num_nodes}, rep={cell.repetition})"
+                )
+        return records
+
+    # -- results and status ------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Every cell completed or quarantined (reaps expired leases first)."""
+        with self._lock:
+            self._queue.expire()
+            return self._queue.done
+
+    @property
+    def quarantined(self) -> dict[int, str]:
+        """Quarantined cell indices with their final failure reason."""
+        with self._lock:
+            return self._queue.quarantined
+
+    def records_for(self, index: int) -> "list[RunRecord]":
+        """The committed records of one cell (from memory, else the store)."""
+        with self._lock:
+            records = self._records.get(index)
+            if records is not None:
+                return records
+            if self._store is not None:
+                cached = self._store.get(self._keys[index])
+                if cached is not None:
+                    return cached
+            raise KeyError(f"cell {index} has no committed result")
+
+    def status(self) -> dict:
+        """The fleet-monitoring snapshot (the ``fabric status`` target)."""
+        with self._lock:
+            self._queue.expire()
+            counts = self._queue.counts()
+            return {
+                "protocol_version": PROTOCOL_VERSION,
+                "total": len(self._cells),
+                "uptime_s": round(self._clock() - self._started_at, 3),
+                "lease_ttl": self._queue.lease_ttl,
+                "max_attempts": self._queue.max_attempts,
+                "done": self._queue.done,
+                "counts": counts,
+                "active_leases": [
+                    {
+                        "lease": lease.lease_id,
+                        "index": lease.index,
+                        "worker": lease.worker,
+                        "expires_in": round(lease.deadline - self._clock(), 3),
+                    }
+                    for lease in self._queue.active_leases()
+                ],
+                "quarantined_cells": [
+                    {"index": index, "digest": self._keys[index].digest, "reason": reason}
+                    for index, reason in sorted(self._queue.quarantined.items())
+                ],
+                "workers": {name: dict(stats) for name, stats in self._workers.items()},
+            }
+
+    # -- restart persistence ----------------------------------------------
+
+    def _state_path(self):
+        return None if self._store is None else self._store.root / STATE_FILE_NAME
+
+    def _save_state(self) -> None:
+        """Journal failure history, keyed by content digest (grid-shape-proof)."""
+        path = self._state_path()
+        if path is None:
+            return
+        state = {
+            "version": 1,
+            "attempts": {
+                self._keys[i].digest: n for i, n in self._queue.attempts.items()
+            },
+            "quarantined": {
+                self._keys[i].digest: reason
+                for i, reason in self._queue.quarantined.items()
+            },
+        }
+        atomic_write_text(path, canonical_json(state))
+
+    def _load_state(self) -> None:
+        path = self._state_path()
+        if path is None or not path.is_file():
+            return
+        try:
+            state = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return  # a torn or missing journal only loses failure history
+        by_digest = {key.digest: index for index, key in enumerate(self._keys)}
+        attempts = {
+            by_digest[d]: int(n)
+            for d, n in state.get("attempts", {}).items()
+            if d in by_digest
+        }
+        quarantined = {
+            by_digest[d]: str(reason)
+            for d, reason in state.get("quarantined", {}).items()
+            if d in by_digest
+        }
+        self._queue.preload(attempts, quarantined)

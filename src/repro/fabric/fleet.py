@@ -1,0 +1,167 @@
+"""In-process fleets: the ``run_sweep(fabric=...)`` execution mode.
+
+A :class:`LocalFleet` is the bridge between the sweep runner and the
+coordinator/worker service: handed the runner's missing cells, it spins up
+a coordinator (committing straight into the sweep's store), runs ``n``
+worker threads against it — over direct in-process calls by default, or
+over a real loopback HTTP server with ``transport="http"`` — and returns
+each cell's records for the runner's serial reassembly.  The records are
+bit-identical to a local run for any worker count, arrival order or
+crash/retry history: that is the determinism contract, and the fault suite
+(``tests/property/test_fabric_faults.py``) holds the fleet to it.
+
+The ``worker_factory`` seam lets tests place arbitrary workers in the
+fleet (flaky ones included); a worker raising
+:class:`~repro.fabric.worker.WorkerCrashed` simply dies — the fleet leans
+on lease expiry and the surviving workers to finish the grid, exactly like
+a remote fleet would.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.fabric.coordinator import FabricCoordinator
+from repro.fabric.protocol import FabricError
+from repro.fabric.queue import DEFAULT_LEASE_TTL
+from repro.fabric.server import FabricHTTPServer
+from repro.fabric.transport import HttpTransport, LocalTransport, Transport
+from repro.fabric.worker import FabricWorker, WorkerCrashed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import RunRecord, SweepCell
+    from repro.store import ExperimentStore
+
+__all__ = ["LocalFleet"]
+
+WorkerFactory = Callable[[int, Transport], FabricWorker]
+
+
+class LocalFleet:
+    """Coordinator + ``workers`` worker threads, started per ``execute`` call.
+
+    Parameters
+    ----------
+    workers:
+        Worker thread count.
+    transport:
+        ``"local"`` (direct in-process calls) or ``"http"`` (a real
+        loopback :class:`~repro.fabric.server.FabricHTTPServer`, one
+        socket round-trip per message — the full wire path).
+    lease_ttl, max_attempts, backoff_s:
+        Coordinator lease knobs; the defaults suit in-process fleets where
+        a "crash" is a dead thread.
+    worker_factory:
+        Optional ``(worker_index, transport) -> FabricWorker`` override
+        (fault harnesses, custom stats).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        transport: str = "local",
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = 5,
+        backoff_s: float = 0.05,
+        poll_interval: float = 0.01,
+        worker_factory: WorkerFactory | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"a fleet needs at least one worker, got {workers}")
+        if transport not in ("local", "http"):
+            raise ValueError(
+                f"unknown fleet transport {transport!r}; expected 'local' or 'http'"
+            )
+        self.workers = workers
+        self.transport = transport
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.poll_interval = poll_interval
+        self.worker_factory = worker_factory
+        #: Per-worker stats of the most recent ``execute`` (fleet monitoring).
+        self.last_stats: list = []
+        self.last_status: dict | None = None
+
+    def execute(
+        self,
+        cells: "Sequence[SweepCell]",
+        *,
+        store: "ExperimentStore | None" = None,
+    ) -> "list[list[RunRecord]]":
+        """Run every cell through the fleet; returns records in cell order.
+
+        Commits go through the coordinator into ``store`` as each cell
+        finishes (the runner skips its own write-back).  Raises
+        :class:`FabricError` if any cell ends quarantined — a fleet serving
+        a sweep must deliver *every* cell or fail loudly.
+        """
+        coordinator = FabricCoordinator(
+            cells,
+            store=store,
+            lease_ttl=self.lease_ttl,
+            max_attempts=self.max_attempts,
+            backoff_s=self.backoff_s,
+        )
+        server: FabricHTTPServer | None = None
+        transports: list[Transport] = []
+        try:
+            if self.transport == "http":
+                server = FabricHTTPServer(coordinator)
+                url = server.start()
+                transports = [HttpTransport(url) for _ in range(self.workers)]
+            else:
+                transports = [LocalTransport(coordinator) for _ in range(self.workers)]
+            fleet = [
+                self._make_worker(index, transport)
+                for index, transport in enumerate(transports)
+            ]
+            threads = [
+                threading.Thread(
+                    target=self._run_worker, args=(worker,), name=worker.name
+                )
+                for worker in fleet
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            self.last_stats = [worker.stats for worker in fleet]
+            self.last_status = coordinator.status()
+        finally:
+            for transport in transports:
+                transport.close()
+            if server is not None:
+                server.stop()
+        quarantined = coordinator.quarantined
+        if quarantined:
+            details = "; ".join(
+                f"cell {index}: {reason}" for index, reason in sorted(quarantined.items())
+            )
+            raise FabricError(
+                f"fabric sweep failed: {len(quarantined)} cell(s) quarantined "
+                f"after {self.max_attempts} attempts ({details})"
+            )
+        if not coordinator.done:
+            raise FabricError(
+                "fabric sweep stalled: every worker exited with cells unfinished"
+            )
+        return [coordinator.records_for(index) for index in range(len(cells))]
+
+    def _make_worker(self, index: int, transport: Transport) -> FabricWorker:
+        if self.worker_factory is not None:
+            return self.worker_factory(index, transport)
+        return FabricWorker(
+            transport,
+            name=f"fleet-worker-{index}",
+            poll_interval=self.poll_interval,
+        )
+
+    @staticmethod
+    def _run_worker(worker: FabricWorker) -> None:
+        try:
+            worker.run()
+        except WorkerCrashed:
+            pass  # a dead worker is a legitimate fleet event, not an error

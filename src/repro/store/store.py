@@ -13,9 +13,13 @@ the shard's relative path + backend; the shard holds the cell's
 :class:`~repro.store.backends.StoreBackend` format.  Writes are atomic and
 crash-safe: the shard is written with temp-file + ``os.replace`` *before*
 its index row is committed, so a reader either sees a complete cell or no
-cell — never a torn one.  Only the parent sweep process writes (workers
-return records; the parent persists them), so sqlite's default locking is
-plenty even when several sweeps share a store.
+cell — never a torn one.  Within one process the store is thread-safe: a
+single sqlite connection guarded by an :class:`threading.RLock` serialises
+index access, which is what lets the fabric coordinator commit results from
+its server's executor threads while ``status`` reads run concurrently.
+Across processes, sqlite's file locking (with a generous busy timeout)
+arbitrates — concurrent committers of the *same* digest are idempotent by
+construction, since the digest addresses the content.
 
 ``get``/``put`` are the cache interface the sweep runner uses;
 :meth:`ExperimentStore.stats`, :meth:`ExperimentStore.gc`,
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -120,6 +125,10 @@ class GcStats:
     orphan_shards: int
     stale_schema_cells: int
     temp_files: int
+    #: Dot-prefixed temp files *younger* than the reap age: a concurrent
+    #: writer's live atomic write.  Reported, never deleted, and excluded
+    #: from :attr:`total` — gc only counts what it removed.
+    in_flight_temp_files: int = 0
 
     @property
     def total(self) -> int:
@@ -152,15 +161,23 @@ class ExperimentStore:
             get_store_backend(backend) if isinstance(backend, str) else backend
         )
         self.root.mkdir(parents=True, exist_ok=True)
-        self._connection = sqlite3.connect(self.root / _INDEX_NAME, timeout=30.0)
-        self._connection.execute(_SCHEMA)
-        self._connection.commit()
+        # One connection shared across threads, serialised by ``_lock``:
+        # the fabric coordinator commits from its HTTP server's executor
+        # threads while status/query reads come from the serve loop.
+        self._connection = sqlite3.connect(
+            self.root / _INDEX_NAME, timeout=30.0, check_same_thread=False
+        )
+        self._lock = threading.RLock()
+        with self._lock:
+            self._connection.execute(_SCHEMA)
+            self._connection.commit()
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         """Close the index connection (the store can be re-opened any time)."""
-        self._connection.close()
+        with self._lock:
+            self._connection.close()
 
     def __enter__(self) -> "ExperimentStore":
         return self
@@ -179,9 +196,10 @@ class ExperimentStore:
         Index lookup + shard existence only — no shard read, so probing
         membership of a large cell costs no record deserialisation.
         """
-        row = self._connection.execute(
-            "SELECT shard FROM cells WHERE digest = ?", (key.digest,)
-        ).fetchone()
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT shard FROM cells WHERE digest = ?", (key.digest,)
+            ).fetchone()
         return row is not None and (self.root / row[0]).is_file()
 
     def get(self, key: CellKey) -> "list[RunRecord] | None":
@@ -191,19 +209,21 @@ class ExperimentStore:
         is treated as a miss and its index entry dropped, so the cell is
         simply re-simulated instead of failing the sweep.
         """
-        row = self._connection.execute(
-            "SELECT shard, backend FROM cells WHERE digest = ?", (key.digest,)
-        ).fetchone()
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT shard, backend FROM cells WHERE digest = ?", (key.digest,)
+            ).fetchone()
         if row is None:
             return None
         shard_path = self.root / row[0]
         try:
             text = shard_path.read_text(encoding="utf-8")
         except FileNotFoundError:
-            self._connection.execute(
-                "DELETE FROM cells WHERE digest = ?", (key.digest,)
-            )
-            self._connection.commit()
+            with self._lock:
+                self._connection.execute(
+                    "DELETE FROM cells WHERE digest = ?", (key.digest,)
+                )
+                self._connection.commit()
             return None
         return get_store_backend(row[1]).loads(text)
 
@@ -220,49 +240,52 @@ class ExperimentStore:
         shard_rel = f"{_SHARDS_DIR}/{digest[:2]}/{digest}{self.backend.extension}"
         atomic_write_text(self.root / shard_rel, self.backend.dumps(records))
         params = json.loads(key.params)
-        self._connection.execute(
-            "INSERT OR REPLACE INTO cells VALUES "
-            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                digest,
-                key.schema_version,
-                key.system,
-                key.rate,
-                key.num_nodes,
-                key.repetition,
-                params["scenario"],
-                params["duty_model"],
-                params["link_model"],
-                params["loss_probability"],
-                params["n_sources"],
-                params["source_placement"],
-                params["seed"],
-                json.dumps(list(key.policies)),
-                key.params,
-                self.backend.name,
-                shard_rel,
-                len(records),
-                datetime.now(timezone.utc).isoformat(timespec="seconds"),
-            ),
-        )
-        self._connection.commit()
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO cells VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    digest,
+                    key.schema_version,
+                    key.system,
+                    key.rate,
+                    key.num_nodes,
+                    key.repetition,
+                    params["scenario"],
+                    params["duty_model"],
+                    params["link_model"],
+                    params["loss_probability"],
+                    params["n_sources"],
+                    params["source_placement"],
+                    params["seed"],
+                    json.dumps(list(key.policies)),
+                    key.params,
+                    self.backend.name,
+                    shard_rel,
+                    len(records),
+                    datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                ),
+            )
+            self._connection.commit()
         return digest
 
     # -- the operator surface ---------------------------------------------
 
     def stats(self) -> StoreStats:
         """Aggregate counts over the index plus shard bytes on disk."""
-        cells, records = self._connection.execute(
-            "SELECT COUNT(*), COALESCE(SUM(num_records), 0) FROM cells"
-        ).fetchone()
+        with self._lock:
+            cells, records = self._connection.execute(
+                "SELECT COUNT(*), COALESCE(SUM(num_records), 0) FROM cells"
+            ).fetchone()
 
         def _grouped(column: str) -> dict:
-            return dict(
-                self._connection.execute(
-                    f"SELECT {column}, COUNT(*) FROM cells "
-                    f"GROUP BY {column} ORDER BY {column}"
-                ).fetchall()
-            )
+            with self._lock:
+                return dict(
+                    self._connection.execute(
+                        f"SELECT {column}, COUNT(*) FROM cells "
+                        f"GROUP BY {column} ORDER BY {column}"
+                    ).fetchall()
+                )
 
         shard_bytes = sum(
             path.stat().st_size
@@ -283,30 +306,42 @@ class ExperimentStore:
         """Remove everything unreachable: dangling rows, orphan shards,
         cells of old schema versions (their digests can never be requested
         again — the digest embeds the version), and leftover temp files.
+
+        Dot-prefixed temp files younger than the reap age are a concurrent
+        writer's live atomic write (a sweep or a fabric coordinator mid
+        commit): they are *reported* in
+        :attr:`GcStats.in_flight_temp_files` but never deleted, so gc is
+        safe to run alongside a live fleet.
         """
-        stale = self._connection.execute(
-            "SELECT digest, shard FROM cells WHERE schema_version != ?",
-            (STORE_SCHEMA_VERSION,),
-        ).fetchall()
-        for digest, shard in stale:
-            (self.root / shard).unlink(missing_ok=True)
-            self._connection.execute("DELETE FROM cells WHERE digest = ?", (digest,))
-
-        dangling = [
-            (digest, shard)
-            for digest, shard in self._connection.execute(
-                "SELECT digest, shard FROM cells"
+        with self._lock:
+            stale = self._connection.execute(
+                "SELECT digest, shard FROM cells WHERE schema_version != ?",
+                (STORE_SCHEMA_VERSION,),
             ).fetchall()
-            if not (self.root / shard).is_file()
-        ]
-        for digest, _ in dangling:
-            self._connection.execute("DELETE FROM cells WHERE digest = ?", (digest,))
-        self._connection.commit()
+            for digest, shard in stale:
+                (self.root / shard).unlink(missing_ok=True)
+                self._connection.execute(
+                    "DELETE FROM cells WHERE digest = ?", (digest,)
+                )
 
-        referenced = {
-            shard for (shard,) in self._connection.execute("SELECT shard FROM cells")
-        }
-        orphans = temps = 0
+            dangling = [
+                (digest, shard)
+                for digest, shard in self._connection.execute(
+                    "SELECT digest, shard FROM cells"
+                ).fetchall()
+                if not (self.root / shard).is_file()
+            ]
+            for digest, _ in dangling:
+                self._connection.execute(
+                    "DELETE FROM cells WHERE digest = ?", (digest,)
+                )
+            self._connection.commit()
+
+            referenced = {
+                shard
+                for (shard,) in self._connection.execute("SELECT shard FROM cells")
+            }
+        orphans = temps = in_flight = 0
         now = time.time()
         shards_root = self.root / _SHARDS_DIR
         for path in sorted(shards_root.glob("*/*")) if shards_root.is_dir() else []:
@@ -319,6 +354,8 @@ class ExperimentStore:
                 if now - path.stat().st_mtime > _TEMP_FILE_MAX_AGE_S:
                     path.unlink()
                     temps += 1
+                else:
+                    in_flight += 1
             elif str(path.relative_to(self.root)) not in referenced:
                 path.unlink()
                 orphans += 1
@@ -327,6 +364,7 @@ class ExperimentStore:
             orphan_shards=orphans,
             stale_schema_cells=len(stale),
             temp_files=temps,
+            in_flight_temp_files=in_flight,
         )
 
     def iter_cells(self) -> Iterator[tuple[dict, "list[RunRecord]"]]:
@@ -371,13 +409,15 @@ class ExperimentStore:
             )
         clauses = [f"{column} = ?" for column in filters]
         where = f"WHERE {' AND '.join(clauses)} " if clauses else ""
-        cursor = self._connection.execute(
-            f"SELECT * FROM cells {where}{_CANONICAL_ORDER}",
-            tuple(filters.values()),
-        )
-        columns = [description[0] for description in cursor.description]
+        with self._lock:
+            cursor = self._connection.execute(
+                f"SELECT * FROM cells {where}{_CANONICAL_ORDER}",
+                tuple(filters.values()),
+            )
+            columns = [description[0] for description in cursor.description]
+            rows = cursor.fetchall()
         cells = []
-        for values in cursor.fetchall():
+        for values in rows:
             row = dict(zip(columns, values))
             try:
                 text = (self.root / row["shard"]).read_text(encoding="utf-8")

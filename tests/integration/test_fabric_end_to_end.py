@@ -1,0 +1,98 @@
+"""End-to-end fabric run: coordinator + three workers over loopback HTTP.
+
+The real thing, no manual clocks: a :class:`FabricHTTPServer` on an
+ephemeral loopback port, three worker threads speaking actual HTTP through
+:class:`HttpTransport`, and one of them killed mid-cell while holding a
+lease.  The surviving workers absorb the re-queued cell after its (short)
+lease TTL expires, the sweep converges, and the records — reassembled in
+serial cell order — are bit-identical to a plain local ``run_sweep``.  A
+second, store-backed rerun is then 100% cached: the fabric committed
+through exactly the digests a local sweep derives.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import QUICK_SWEEP
+from repro.experiments.runner import run_sweep, sweep_cells
+from repro.fabric import FabricWorker, LocalFleet, WorkerCrashed
+from repro.store import ExperimentStore
+
+_CONFIG = replace(QUICK_SWEEP, node_counts=(50, 100), repetitions=2)
+_LEASE_TTL = 0.75  # short enough that lease recovery happens in test time
+
+
+class _CrashOnceWorker(FabricWorker):
+    """Dies (via :class:`WorkerCrashed`) on its first simulation, holding
+    the lease — the mid-cell crash the lease TTL exists to survive."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._crashed = False
+
+    def simulate(self, cell, grant):
+        if not self._crashed:
+            self._crashed = True
+            raise WorkerCrashed(f"{self.name}: killed mid-cell")
+        return super().simulate(cell, grant)  # pragma: no cover - never revived
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_sweep(_CONFIG, system="sync", workers=1)
+
+
+def test_fleet_survives_worker_death_over_http(tmp_path, baseline):
+    killed = []
+
+    def factory(index: int, transport) -> FabricWorker:
+        if index == 0:
+            worker = _CrashOnceWorker(
+                transport, name="doomed-worker", poll_interval=0.01
+            )
+            killed.append(worker)
+            return worker
+        return FabricWorker(transport, name=f"survivor-{index}", poll_interval=0.01)
+
+    fleet = LocalFleet(
+        workers=3,
+        transport="http",
+        lease_ttl=_LEASE_TTL,
+        worker_factory=factory,
+    )
+    with ExperimentStore(tmp_path / "store") as store:
+        result = run_sweep(_CONFIG, system="sync", store=store, fabric=fleet)
+        assert result.records == baseline.records
+
+        # The doomed worker really did die holding a lease...
+        assert killed and killed[0]._crashed
+        assert killed[0].stats.claims == 1
+        assert killed[0].stats.completed == 0
+        # ...its cell was recovered by the survivors (an expiry charged one
+        # failed attempt against exactly one cell)...
+        status = fleet.last_status
+        assert status["done"] is True
+        assert status["counts"]["completed"] == status["total"]
+        assert status["counts"]["quarantined"] == 0
+        survivors = [stats for stats in fleet.last_stats if stats.claims > 0]
+        assert sum(stats.completed for stats in fleet.last_stats) == status["total"]
+        assert len(survivors) >= 2  # the dead worker's cell went elsewhere
+
+        # ...and a plain rerun against the fabric-written store is fully
+        # cached and bit-identical — the determinism contract, end to end.
+        rerun = run_sweep(_CONFIG, system="sync", store=store)
+        assert rerun.cache_misses == 0
+        assert rerun.cache_hits == len(sweep_cells(_CONFIG, system="sync"))
+        assert rerun.records == baseline.records
+
+    # No stray threads left behind (server and heartbeat threads joined).
+    lingering = [
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name.startswith(("fabric-http", "fleet-worker", "survivor"))
+    ]
+    assert lingering == []

@@ -1,0 +1,131 @@
+"""Seeded stdlib-``random`` fuzzing of the fabric lease state machine.
+
+Mirrors ``test_backend_fuzz.py``: every draw derives from the test's seed
+parameter, so a failing operation sequence replays from its pytest id
+alone.  Each case hammers one :class:`~repro.fabric.queue.LeaseQueue` with
+a random interleaving of claims, heartbeats, completions, explicit
+failures, duplicate/late posts and clock advances, checking the machine's
+global invariants after every single operation:
+
+1. **Partition** — every cell is in exactly one of
+   pending/leased/completed/quarantined, and the counts sum to the grid.
+2. **Lease consistency** — live leases reference leased cells, one lease
+   per cell, deadlines in the future of their grant.
+3. **Monotone terminal states** — a completed cell never leaves
+   ``completed`` (quarantine may only be re-entered from a valid late
+   commit, never the other way).
+4. **Bounded budgets** — attempt counts never exceed ``max_attempts``, and
+   a cell reaching it is quarantined, not re-leased.
+5. **Single commit** — ``complete`` returns ``"committed"`` exactly once
+   per cell no matter how many times it is called.
+
+After the random phase, a drain loop (claim → complete, advancing past any
+backoff) must finish the queue: whatever the fault history, the machine
+never wedges.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fabric import Lease, LeaseQueue
+
+from .conftest import ManualClock
+
+_TTL = 10.0
+_MAX_ATTEMPTS = 4
+
+
+def _check_invariants(queue: LeaseQueue, committed_once: set[int]) -> None:
+    counts = queue.counts()
+    assert sum(counts.values()) == len(queue.indices)
+    states = {index: queue.state_of(index) for index in queue.indices}
+    assert all(
+        state in ("pending", "leased", "completed", "quarantined")
+        for state in states.values()
+    )
+    leases = queue.active_leases()
+    leased_cells = [lease.index for lease in leases]
+    assert len(leased_cells) == len(set(leased_cells)), "two leases on one cell"
+    for lease in leases:
+        assert isinstance(lease, Lease)
+        assert states[lease.index] == "leased"
+        assert lease.deadline > lease.granted_at
+    assert counts["leased"] == len(leases)
+    for index, attempts in queue.attempts.items():
+        assert attempts <= _MAX_ATTEMPTS
+    for index in queue.quarantined:
+        assert states[index] == "quarantined"
+    for index in committed_once:
+        assert states[index] == "completed"
+
+
+@pytest.mark.slow_property
+@pytest.mark.parametrize("seed", range(20))
+def test_fuzzed_lease_queue_invariants(seed):
+    rng = random.Random(seed)
+    clock = ManualClock()
+    cell_count = rng.randint(1, 12)
+    queue = LeaseQueue(
+        range(cell_count),
+        lease_ttl=_TTL,
+        max_attempts=_MAX_ATTEMPTS,
+        backoff_s=0.5,
+        clock=clock,
+    )
+    granted: list[Lease] = []  # every lease ever granted (live or not)
+    committed_once: set[int] = set()
+
+    for step in range(rng.randint(30, 120)):
+        op = rng.random()
+        if op < 0.30:
+            lease = queue.claim(f"fuzz-{rng.randrange(4)}")
+            if lease is not None:
+                granted.append(lease)
+        elif op < 0.45 and granted:
+            # Heartbeat a random historical lease: live ones extend, dead
+            # ones must report False without disturbing anything.
+            lease = rng.choice(granted)
+            alive = queue.heartbeat(lease.lease_id)
+            assert alive in (True, False)
+        elif op < 0.65 and granted:
+            # Complete a random historical lease's cell — possibly long
+            # after expiry or re-lease (the late/duplicate post).
+            index = rng.choice(granted).index
+            outcome = queue.complete(index)
+            if outcome == "committed":
+                assert index not in committed_once, "double commit"
+                committed_once.add(index)
+            else:
+                assert outcome == "duplicate"
+                assert index in committed_once
+        elif op < 0.75 and granted:
+            queue.fail(rng.choice(granted).lease_id, "fuzzed rejection")
+        elif op < 0.9:
+            clock.advance(rng.choice([0.1, 1.0, _TTL / 2, _TTL + 1.0]))
+            queue.expire()
+        else:
+            hint = queue.next_event_in()
+            assert hint >= 0.0
+        _check_invariants(queue, committed_once)
+
+    # Drain: a compliant fleet must always be able to finish the queue.
+    for _ in range(10 * cell_count + 10):
+        if queue.done:
+            break
+        lease = queue.claim("drain")
+        if lease is None:
+            clock.advance(max(queue.next_event_in(), 0.1))
+            continue
+        assert queue.complete(lease.index) == "committed"
+        committed_once.add(lease.index)
+        _check_invariants(queue, committed_once)
+    assert queue.done, f"seed {seed}: queue wedged with {queue.counts()}"
+    # Every non-quarantined cell ended completed, each committed exactly once.
+    assert committed_once == {
+        index
+        for index in queue.indices
+        if queue.state_of(index) == "completed"
+    }

@@ -1,0 +1,216 @@
+"""Unit tests for the fabric lease state machine (deterministic clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import DEFAULT_LEASE_TTL, LeaseQueue
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+def make_queue(clock, **kwargs):
+    kwargs.setdefault("lease_ttl", 10.0)
+    kwargs.setdefault("max_attempts", 3)
+    kwargs.setdefault("backoff_s", 1.0)
+    return LeaseQueue(range(3), clock=clock, **kwargs)
+
+
+class TestClaiming:
+    def test_grants_lowest_pending_index_first(self, clock):
+        queue = make_queue(clock)
+        assert queue.claim("w1").index == 0
+        assert queue.claim("w2").index == 1
+        assert queue.claim("w1").index == 2
+        assert queue.claim("w1") is None  # everything leased
+
+    def test_lease_carries_worker_deadline_and_unique_id(self, clock):
+        queue = make_queue(clock)
+        first = queue.claim("w1")
+        second = queue.claim("w1")
+        assert first.worker == "w1"
+        assert first.deadline == pytest.approx(first.granted_at + 10.0)
+        assert first.lease_id != second.lease_id
+
+    def test_completed_cells_are_never_granted_again(self, clock):
+        queue = make_queue(clock)
+        lease = queue.claim("w1")
+        queue.complete(lease.index)
+        granted = {queue.claim("w1").index, queue.claim("w1").index}
+        assert lease.index not in granted
+
+    def test_default_ttl_is_the_module_constant(self):
+        queue = LeaseQueue(range(1))
+        assert queue.lease_ttl == DEFAULT_LEASE_TTL
+
+
+class TestExpiry:
+    def test_expired_lease_requeues_the_cell(self, clock):
+        queue = make_queue(clock)
+        lease = queue.claim("w1")
+        clock.advance(10.5)
+        reaped = queue.expire()
+        assert [l.lease_id for l in reaped] == [lease.lease_id]
+        assert queue.state_of(lease.index) == "pending"
+        assert queue.attempts[lease.index] == 1
+
+    def test_heartbeat_extends_the_deadline(self, clock):
+        queue = make_queue(clock)
+        lease = queue.claim("w1")
+        clock.advance(8.0)
+        assert queue.heartbeat(lease.lease_id) is True
+        clock.advance(8.0)  # 16s since grant, but only 8 since the beat
+        assert queue.expire() == []
+        assert queue.state_of(lease.index) == "leased"
+
+    def test_heartbeat_on_expired_lease_reports_false(self, clock):
+        queue = make_queue(clock)
+        lease = queue.claim("w1")
+        clock.advance(11.0)
+        assert queue.heartbeat(lease.lease_id) is False
+
+    def test_requeued_cell_backs_off_exponentially(self, clock):
+        queue = make_queue(clock, backoff_s=2.0, max_attempts=5)
+        index = queue.claim("w1").index
+        clock.advance(10.5)
+        queue.expire()  # attempt 1 -> not_before now+2
+        # The other two pending cells are still immediately claimable; the
+        # requeued one comes back only after its backoff.
+        granted = [queue.claim("w"), queue.claim("w"), queue.claim("w")]
+        assert [lease.index for lease in granted if lease is not None] != [index]
+        assert queue.claim("w") is None
+        assert 0.0 < queue.next_event_in() <= 2.0
+
+    def test_single_polling_worker_drives_requeue(self, clock):
+        """claim() reaps expired leases itself — no tick thread required."""
+        queue = make_queue(clock)
+        first = queue.claim("w1")
+        clock.advance(10.5)
+        clock.advance(1.0)  # past the backoff of the expired cell
+        again = queue.claim("w1")
+        assert again is not None
+        assert queue.attempts[first.index] == 1
+
+
+class TestCompletion:
+    def test_complete_is_idempotent(self, clock):
+        queue = make_queue(clock)
+        lease = queue.claim("w1")
+        assert queue.complete(lease.index) == "committed"
+        assert queue.complete(lease.index) == "duplicate"
+        assert queue.state_of(lease.index) == "completed"
+
+    def test_late_post_after_expiry_still_commits(self, clock):
+        queue = make_queue(clock)
+        lease = queue.claim("w1")
+        clock.advance(11.0)
+        queue.expire()
+        assert queue.complete(lease.index) == "committed"
+        assert queue.state_of(lease.index) == "completed"
+
+    def test_late_post_after_requeue_to_another_worker_commits_once(self, clock):
+        queue = LeaseQueue(
+            range(1), lease_ttl=10.0, max_attempts=3, backoff_s=1.0, clock=clock
+        )
+        lease = queue.claim("w1")
+        clock.advance(12.0)  # past the TTL: the claim reaps the dead lease...
+        assert queue.claim("w2") is None
+        clock.advance(queue.next_event_in())  # ...and the backoff elapses
+        release = queue.claim("w2")
+        assert release.index == lease.index
+        assert queue.complete(lease.index) == "committed"  # the slow original
+        assert queue.complete(release.index) == "duplicate"  # the re-runner
+
+    def test_unknown_index_raises(self, clock):
+        queue = make_queue(clock)
+        with pytest.raises(KeyError):
+            queue.complete(99)
+
+    def test_done_when_every_cell_terminal(self, clock):
+        queue = make_queue(clock)
+        assert queue.done is False
+        for _ in range(3):
+            queue.complete(queue.claim("w").index)
+        assert queue.done is True
+        assert queue.counts() == {
+            "pending": 0, "leased": 0, "completed": 3, "quarantined": 0,
+        }
+
+
+class TestQuarantine:
+    def test_poison_cell_quarantines_after_max_attempts(self, clock):
+        queue = LeaseQueue(
+            range(2), lease_ttl=10.0, max_attempts=2, backoff_s=0.1, clock=clock
+        )
+        queue.complete(1)  # leave a single claimable cell
+        for _ in range(2):
+            lease = queue.claim("w1")
+            queue.fail(lease.lease_id, "bad records")
+            clock.advance(1.0)
+        index = lease.index
+        assert queue.state_of(index) == "quarantined"
+        assert "bad records — attempt 2/2" in queue.quarantined[index]
+        # Quarantined cells are fenced off: never granted again.
+        assert queue.claim("w1") is None
+        assert queue.done is True
+
+    def test_valid_late_result_rescues_a_quarantined_cell(self, clock):
+        queue = make_queue(clock, max_attempts=1)
+        lease = queue.claim("w1")
+        clock.advance(11.0)
+        queue.expire()
+        assert queue.state_of(lease.index) == "quarantined"
+        assert queue.complete(lease.index) == "committed"
+        assert queue.state_of(lease.index) == "completed"
+        assert queue.quarantined == {}
+
+    def test_fail_on_unknown_lease_is_ignored(self, clock):
+        queue = make_queue(clock)
+        queue.fail("lease-404", "whatever")
+        assert queue.counts()["pending"] == 3
+
+
+class TestPreload:
+    def test_restores_attempts_and_quarantine(self, clock):
+        queue = make_queue(clock, max_attempts=3)
+        queue.preload({0: 2}, {1: "poison from a past life"})
+        assert queue.state_of(1) == "quarantined"
+        # Cell 0 has one attempt left before quarantine.
+        lease = queue.claim("w1")
+        assert lease.index == 0
+        queue.fail(lease.lease_id, "again")
+        assert queue.state_of(0) == "quarantined"
+
+    def test_preload_ignores_unknown_indices(self, clock):
+        queue = make_queue(clock)
+        queue.preload({42: 1}, {43: "gone"})
+        assert queue.counts()["pending"] == 3
+
+
+class TestValidation:
+    def test_rejects_nonpositive_ttl_and_attempts(self, clock):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            LeaseQueue(range(1), lease_ttl=0.0, clock=clock)
+        with pytest.raises(ValueError, match="max_attempts"):
+            LeaseQueue(range(1), max_attempts=0, clock=clock)
+
+    def test_next_event_in_zero_when_claimable_or_done(self, clock):
+        queue = make_queue(clock)
+        assert queue.next_event_in() == 0.0
+        for _ in range(3):
+            queue.complete(queue.claim("w").index)
+        assert queue.next_event_in() == 0.0
