@@ -62,6 +62,17 @@ run (see docs/fabric.md)::
     mlbs-experiments fabric work --url http://127.0.0.1:8765
     mlbs-experiments fabric status --url http://127.0.0.1:8765
 
+Watch any of it live: ``--trace`` makes a sweep (or a serving coordinator)
+append every telemetry event to a JSONL file, and the ``monitor`` target
+renders a refreshing dashboard from a store, a live trace file and/or a
+fabric coordinator URL (``--telemetry`` on ``fabric serve`` also exposes a
+``/metrics`` JSON endpoint — see docs/telemetry.md)::
+
+    mlbs-experiments sweep --store results/store --trace results/sweep.jsonl
+    mlbs-experiments monitor --store results/store --trace results/sweep.jsonl
+    mlbs-experiments fabric serve --store results/store --telemetry
+    mlbs-experiments monitor --url http://127.0.0.1:8765
+
 Discover the registered workloads and solver tiers::
 
     mlbs-experiments --list-scenarios
@@ -101,6 +112,7 @@ from repro.fabric import (
     TransportError,
 )
 from repro.network.sources import placement_names
+from repro.obs import EVENT_BUS, JsonlTraceSink, SweepMonitor
 from repro.scenarios import list_scenarios, scenario_names
 from repro.sim.batched import BatchProfile
 from repro.sim.broadcast import ENGINE_BACKENDS
@@ -195,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
             "sweep",
             "store",
             "fabric",
+            "monitor",
             "all",
         ],
         help=(
@@ -208,8 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
             "code 1 if a ratio claim fails); 'store' manages a persistent "
             "experiment store (see the 'action' positional); 'fabric' runs a "
             "distributed sweep over a coordinator/worker fleet (see the "
-            "'action' positional and docs/fabric.md); 'all' covers "
-            "the paper's figures, tables and claims"
+            "'action' positional and docs/fabric.md); 'monitor' renders a "
+            "refreshing dashboard from --store, --trace and/or --url (see "
+            "docs/telemetry.md); 'all' covers the paper's figures, tables "
+            "and claims"
         ),
     )
     parser.add_argument(
@@ -430,6 +445,42 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append every telemetry event as one JSON line to this file: "
+            "'sweep' and 'fabric serve' write it while they run, 'monitor' "
+            "follows it live (see docs/telemetry.md)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "'fabric serve': also publish the coordinator's metrics registry "
+            "as a /metrics JSON endpoint"
+        ),
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period of the 'monitor' target (default: 1)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "render N 'monitor' frames and exit (default: refresh until "
+            "interrupted)"
+        ),
+    )
+    parser.add_argument(
         "--worker-name",
         default=None,
         metavar="NAME",
@@ -578,37 +629,63 @@ def _run_fabric(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
             parser.error("'fabric serve' requires --store PATH (the shared store)")
         config = _config_from_args(args)
         cells = sweep_cells(config, system=args.system, rate=args.rate)
-        with ExperimentStore(args.store) as store:
-            coordinator = FabricCoordinator(
-                cells,
-                store=store,
-                resume=args.resume,
-                lease_ttl=args.lease_ttl,
-                max_attempts=args.max_attempts,
-            )
-            with FabricHTTPServer(
-                coordinator, host=args.host, port=args.port
-            ) as server:
-                print(f"fabric serve: {server.url} ({len(cells)} cells)", flush=True)
-                last = ""
-                while True:
-                    coordinator.tick()
-                    status = coordinator.status()
-                    line = _status_line(status)
-                    if line != last:
-                        print(line, file=sys.stderr, flush=True)
-                        last = line
-                    counts = status["counts"]
-                    if counts["pending"] == 0 and counts["leased"] == 0:
-                        # Grace period: workers poll every couple of seconds,
-                        # so answering a little longer turns their last claim
-                        # into a clean "done" instead of a dead socket.
-                        time.sleep(max(args.linger, 0.0))
-                        break
-                    time.sleep(0.2)
-            status = coordinator.status()
-            _write_status(status, args.status_file)
-            quarantined = coordinator.quarantined
+        trace_sink = (
+            EVENT_BUS.attach(JsonlTraceSink(args.trace))
+            if args.trace is not None
+            else None
+        )
+        try:
+            with ExperimentStore(args.store) as store:
+                coordinator = FabricCoordinator(
+                    cells,
+                    store=store,
+                    resume=args.resume,
+                    lease_ttl=args.lease_ttl,
+                    max_attempts=args.max_attempts,
+                )
+                with FabricHTTPServer(
+                    coordinator,
+                    host=args.host,
+                    port=args.port,
+                    expose_metrics=args.telemetry,
+                ) as server:
+                    print(
+                        f"fabric serve: {server.url} ({len(cells)} cells)", flush=True
+                    )
+                    if args.telemetry:
+                        print(
+                            f"fabric serve: metrics at {server.url}/metrics",
+                            flush=True,
+                        )
+                    last = ""
+                    while True:
+                        coordinator.tick()
+                        status = coordinator.status()
+                        line = _status_line(status)
+                        if line != last:
+                            print(line, file=sys.stderr, flush=True)
+                            last = line
+                        counts = status["counts"]
+                        if counts["pending"] == 0 and counts["leased"] == 0:
+                            # Grace period: workers poll every couple of
+                            # seconds, so answering a little longer turns
+                            # their last claim into a clean "done" instead
+                            # of a dead socket.
+                            time.sleep(max(args.linger, 0.0))
+                            break
+                        time.sleep(0.2)
+                status = coordinator.status()
+                _write_status(status, args.status_file)
+                quarantined = coordinator.quarantined
+        finally:
+            if trace_sink is not None:
+                EVENT_BUS.detach(trace_sink)
+                trace_sink.close()
+                print(
+                    f"fabric serve: {trace_sink.written} events -> {args.trace}",
+                    file=sys.stderr,
+                    flush=True,
+                )
         if quarantined:
             for index, reason in sorted(quarantined.items()):
                 print(f"fabric: cell {index} quarantined: {reason}", file=sys.stderr)
@@ -683,6 +760,7 @@ def main(argv: list[str] | None = None) -> int:
         "multisource",
         "ratio",
         "fabric",
+        "monitor",
     )
     if non_paper and args.target not in workload_targets:
         parser.error(
@@ -724,6 +802,21 @@ def main(argv: list[str] | None = None) -> int:
                 "the 'fabric' target requires an action: serve, work or status"
             )
         return _run_fabric(args, parser)
+    if args.target == "monitor":
+        if args.store is None and args.trace is None and args.url is None:
+            parser.error(
+                "the 'monitor' target needs at least one feed: --store PATH, "
+                "--trace PATH and/or --url URL"
+            )
+        monitor_store = open_store(args.store)
+        try:
+            monitor = SweepMonitor(
+                store=monitor_store, trace=args.trace, url=args.url
+            )
+            return monitor.watch(interval=args.interval, frames=args.frames)
+        finally:
+            if monitor_store is not None:
+                monitor_store.close()
     if args.target == "store":
         if args.store is None:
             parser.error("the 'store' target requires --store PATH")
@@ -849,15 +942,25 @@ def main(argv: list[str] | None = None) -> int:
                     exit_code = 1
             elif target == "sweep":
                 profile = BatchProfile() if args.profile else None
-                sweep = run_sweep(
-                    config,
-                    system=args.system,
-                    rate=args.rate,
-                    store=store,
-                    resume=args.resume,
-                    progress=_progress if store is not None else None,
-                    profile=profile,
+                trace_sink = (
+                    EVENT_BUS.attach(JsonlTraceSink(args.trace))
+                    if args.trace is not None
+                    else None
                 )
+                try:
+                    sweep = run_sweep(
+                        config,
+                        system=args.system,
+                        rate=args.rate,
+                        store=store,
+                        resume=args.resume,
+                        progress=_progress if store is not None else None,
+                        profile=profile,
+                    )
+                finally:
+                    if trace_sink is not None:
+                        EVENT_BUS.detach(trace_sink)
+                        trace_sink.close()
                 csv = to_csv(SweepResult.ROW_HEADERS, sweep.to_rows())
                 header = (
                     f"sweep: scenario={config.scenario} duty_model={config.duty_model} "
@@ -875,6 +978,10 @@ def main(argv: list[str] | None = None) -> int:
                     )
                 if profile is not None:
                     header += f"\n{_profile_line(profile)}"
+                if trace_sink is not None:
+                    header += (
+                        f"\ntrace: {trace_sink.written} events -> {args.trace}"
+                    )
                 _emit(target, f"{header}\n{csv.rstrip()}", csv, args.csv_dir)
             elif target == "claims":
                 fig3 = fig_cache.get("figure3") or figures_mod.figure3(

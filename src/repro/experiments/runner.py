@@ -72,6 +72,9 @@ from repro.dutycycle.models import build_wakeup_schedule
 from repro.experiments.config import SweepConfig
 from repro.network.deployment import DeploymentConfig, deploy_uniform
 from repro.network.sources import select_sources
+from repro.obs import events as _events
+from repro.obs.bus import EVENT_BUS
+from repro.obs.sinks import CallbackSink
 from repro.scenarios import generate_scenario
 from repro.sim.batched import BatchProfile, BroadcastTask, run_batched
 from repro.sim.broadcast import run_broadcast
@@ -489,6 +492,10 @@ def _cell_record(
 
 def _run_cell(cell: SweepCell) -> list[RunRecord]:
     """Execute one sweep cell; the unit of work of the process pool."""
+    if EVENT_BUS.active:
+        EVENT_BUS.emit(
+            _events.CellStarted(cell.system, cell.rate, cell.num_nodes, cell.repetition)
+        )
     config = cell.config
     setup = _prepare_cell(cell)
     n_sources = config.n_sources
@@ -559,9 +566,32 @@ def _run_stripe(
         for _, factory in setup.policies
     ]
     batch = stripe[0].config.batch
+    # With listeners attached, time the stripe through a private profile —
+    # StripeFinished wants per-stripe numbers, not the caller's running
+    # totals — and fold it into the caller's accumulator afterwards.
+    observing = EVENT_BUS.active
+    stripe_profile = BatchProfile() if observing else profile
+    if observing:
+        EVENT_BUS.emit(_events.StripeStarted(stripe[0].num_nodes, len(tasks)))
     traces = iter(
-        run_batched(tasks, batch=batch, validate=True, prepare=True, profile=profile)
+        run_batched(
+            tasks, batch=batch, validate=True, prepare=True, profile=stripe_profile
+        )
     )
+    if observing:
+        EVENT_BUS.emit(
+            _events.StripeFinished(
+                stripe[0].num_nodes,
+                len(tasks),
+                stripe_profile.kernel_s,
+                stripe_profile.decide_s,
+                stripe_profile.bookkeeping_s,
+                stripe_profile.macro_steps,
+                stripe_profile.advances,
+            )
+        )
+        if profile is not None:
+            profile.merge(stripe_profile)
     results: list[list[RunRecord]] = []
     for cell, setup in zip(stripe, setups):
         records = []
@@ -667,7 +697,11 @@ def run_sweep(
         full re-simulation that overwrites the cached cells.
     progress:
         Optional sink for one-line progress messages (the CLI passes a
-        stderr printer); currently reports the cache hit/miss split.
+        stderr printer); reports the cache hit/miss split.  A legacy shim:
+        it is served by a :class:`~repro.obs.sinks.CallbackSink` rendering
+        the :class:`~repro.obs.events.SweepStarted` event — new callers
+        should attach a sink to :data:`~repro.obs.bus.EVENT_BUS` instead
+        and see the full event stream (docs/telemetry.md).
     profile:
         Optional :class:`~repro.sim.batched.BatchProfile` accumulator for
         the batched stripe executor's per-phase timing split (kernel /
@@ -742,18 +776,49 @@ def run_sweep(
                     per_cell[index] = cached
         result.cache_hits = len(per_cell)
         result.cache_misses = len(cells) - len(per_cell)
-        if progress is not None:
-            progress(
-                f"store: {result.cache_hits} cells cached, "
-                f"{result.cache_misses} to simulate"
-            )
 
     def _finish(index: int, records: list[RunRecord]) -> None:
         per_cell[index] = records
         if store is not None:
             store.put(keys[index], records)
+        if EVENT_BUS.active:
+            cell = cells[index]
+            EVENT_BUS.emit(
+                _events.CellFinished(
+                    index, cell.num_nodes, cell.repetition, len(records)
+                )
+            )
 
     missing = [index for index in range(len(cells)) if index not in per_cell]
+
+    # ``progress=`` predates the event bus; it survives as a CallbackSink
+    # that renders SweepStarted back into the legacy one-line store split.
+    progress_sink = None
+    if progress is not None and store is not None:
+
+        def _legacy_line(event: _events.Event) -> None:
+            if isinstance(event, _events.SweepStarted):
+                progress(
+                    f"store: {event.cached_cells} cells cached, "
+                    f"{event.missing_cells} to simulate"
+                )
+
+        progress_sink = EVENT_BUS.attach(CallbackSink(_legacy_line))
+    try:
+        if EVENT_BUS.active:
+            EVENT_BUS.emit(
+                _events.SweepStarted(
+                    system,
+                    effective_rate,
+                    effective_engine,
+                    len(cells),
+                    result.cache_hits if store is not None else -1,
+                    len(missing),
+                )
+            )
+    finally:
+        if progress_sink is not None:
+            EVENT_BUS.detach(progress_sink)
     if missing and fabric is not None:
         # Fabric mode: lease the missing cells out to a coordinator/worker
         # fleet.  The coordinator validates and commits each cell into the
@@ -767,6 +832,13 @@ def run_sweep(
         batches = fabric.execute([cells[index] for index in missing], store=store)
         for index, records in zip(missing, batches):
             per_cell[index] = records
+            if EVENT_BUS.active:
+                cell = cells[index]
+                EVENT_BUS.emit(
+                    _events.CellFinished(
+                        index, cell.num_nodes, cell.repetition, len(records)
+                    )
+                )
     elif missing and effective_engine == "batched" and _stripe_eligible(config):
         # Stripe planner: group the missing cells by node count (stacked
         # lanes need one shape) and run each stripe through the batched
@@ -838,4 +910,10 @@ def run_sweep(
 
     for index in range(len(cells)):
         result.records.extend(per_cell[index])
+    if EVENT_BUS.active:
+        EVENT_BUS.emit(
+            _events.SweepFinished(
+                len(result.records), result.cache_hits, result.cache_misses
+            )
+        )
     return result

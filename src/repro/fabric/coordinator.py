@@ -19,6 +19,7 @@ claim      ``{"worker"}``                                ``lease`` grant / ``wai
 heartbeat  ``{"lease"}``                                  ``{"status": "ok", "valid"}``
 result     ``{"lease", "index", "digest", "records"}``   ``committed`` / ``duplicate`` / ``rejected``
 status     ``{}``                                        full fleet/queue status object
+metrics    ``{}``                                        :class:`~repro.obs.metrics.MetricsRegistry` snapshot
 ========== ============================================= =================================
 
 A posted result is **validated before it is committed**: the echoed digest
@@ -45,6 +46,7 @@ from repro.fabric.protocol import (
     records_from_payload,
 )
 from repro.fabric.queue import DEFAULT_LEASE_TTL, LeaseQueue
+from repro.obs.metrics import MetricsRegistry
 from repro.store import cell_key_for
 from repro.utils.serialization import atomic_write_text, canonical_json
 
@@ -114,6 +116,10 @@ class FabricCoordinator:
         self._records: dict[int, list[RunRecord]] = {}
         self._workers: dict[str, dict[str, float | int]] = {}
         self._started_at = clock()
+        #: Fleet metrics (claims, heartbeats, commits, queue gauges) — the
+        #: source of the extended ``status`` fields and, when the HTTP
+        #: server exposes it, of the ``/metrics`` endpoint.
+        self.metrics = MetricsRegistry()
         self._queue = LeaseQueue(
             range(len(self._cells)),
             lease_ttl=lease_ttl,
@@ -144,9 +150,11 @@ class FabricCoordinator:
                 return self._result(payload)
             if action == "status":
                 return self.status()
+            if action == "metrics":
+                return self.metrics_snapshot()
             raise FabricError(
                 f"unknown fabric action {action!r}; expected claim, "
-                "heartbeat, result or status"
+                "heartbeat, result, status or metrics"
             )
 
     def tick(self) -> None:
@@ -166,9 +174,11 @@ class FabricCoordinator:
             worker, {"claims": 0, "completed": 0, "failures": 0, "last_seen": now}
         )
         stats["last_seen"] = now
+        self.metrics.counter("fabric.claim_requests").inc()
         lease = self._queue.claim(worker, now)
         if lease is not None:
             stats["claims"] += 1
+            self.metrics.counter("fabric.lease_claims").inc()
             return {
                 "status": "lease",
                 "lease": lease.lease_id,
@@ -191,7 +201,14 @@ class FabricCoordinator:
 
     def _heartbeat(self, payload: Mapping) -> dict:
         lease_id = str(payload.get("lease", ""))
-        valid = self._queue.heartbeat(lease_id, self._clock())
+        now = self._clock()
+        # Credit the beat to the lease's worker before the heartbeat can
+        # expire it — liveness is about who pinged, not whether in time.
+        lease = self._queue.lease(lease_id)
+        if lease is not None and lease.worker in self._workers:
+            self._workers[lease.worker]["last_seen"] = now
+        self.metrics.counter("fabric.heartbeats").inc()
+        valid = self._queue.heartbeat(lease_id, now)
         return {"status": "ok", "valid": valid}
 
     def _result(self, payload: Mapping) -> dict:
@@ -212,6 +229,7 @@ class FabricCoordinator:
             # exactly like a crash: repeat offenders poison-quarantine.
             self._queue.fail(lease_id, f"rejected result: {error}", now)
             stats["failures"] += 1
+            self.metrics.counter("fabric.results_rejected").inc()
             self._save_state()
             return {"status": "rejected", "reason": str(error)}
         outcome = self._queue.complete(index, now)
@@ -220,7 +238,10 @@ class FabricCoordinator:
                 self._store.put(self._keys[index], records)
             self._records[index] = records
             stats["completed"] += 1
+            self.metrics.counter("fabric.results_committed").inc()
             self._save_state()
+        else:
+            self.metrics.counter("fabric.results_duplicate").inc()
         return {"status": outcome}
 
     def _validate_result(self, index: int, payload: Mapping) -> "list[RunRecord]":
@@ -283,33 +304,95 @@ class FabricCoordinator:
             raise KeyError(f"cell {index} has no committed result")
 
     def status(self) -> dict:
-        """The fleet-monitoring snapshot (the ``fabric status`` target)."""
+        """The fleet-monitoring snapshot (the ``fabric status`` target).
+
+        ``queue_depth`` (claimable backlog), ``oldest_lease_age_s`` (the
+        longest-running grant — a stuck worker shows up here first) and the
+        per-cell ``attempts`` map (str-keyed, JSON-proof) come from the
+        same numbers :attr:`metrics` tracks; the queue gauges are refreshed
+        into the registry on every status read.
+        """
         with self._lock:
             self._queue.expire()
             counts = self._queue.counts()
+            now = self._clock()
+            active = self._queue.active_leases()
+            oldest = max((now - lease.granted_at for lease in active), default=None)
+            self._refresh_queue_gauges(counts, oldest)
             return {
                 "protocol_version": PROTOCOL_VERSION,
                 "total": len(self._cells),
-                "uptime_s": round(self._clock() - self._started_at, 3),
+                "uptime_s": round(now - self._started_at, 3),
                 "lease_ttl": self._queue.lease_ttl,
                 "max_attempts": self._queue.max_attempts,
                 "done": self._queue.done,
                 "counts": counts,
+                "queue_depth": counts["pending"],
+                "oldest_lease_age_s": (
+                    None if oldest is None else round(oldest, 3)
+                ),
+                "attempts": {
+                    str(index): count
+                    for index, count in sorted(self._queue.attempts.items())
+                },
                 "active_leases": [
                     {
                         "lease": lease.lease_id,
                         "index": lease.index,
                         "worker": lease.worker,
-                        "expires_in": round(lease.deadline - self._clock(), 3),
+                        "expires_in": round(lease.deadline - now, 3),
                     }
-                    for lease in self._queue.active_leases()
+                    for lease in active
                 ],
                 "quarantined_cells": [
                     {"index": index, "digest": self._keys[index].digest, "reason": reason}
                     for index, reason in sorted(self._queue.quarantined.items())
                 ],
-                "workers": {name: dict(stats) for name, stats in self._workers.items()},
+                "workers": {
+                    name: {
+                        **stats,
+                        "last_seen_age_s": round(now - stats["last_seen"], 3),
+                    }
+                    for name, stats in self._workers.items()
+                },
             }
+
+    def metrics_snapshot(self) -> dict:
+        """The metrics registry's snapshot with the queue gauges refreshed.
+
+        The payload of the ``metrics`` action (``/metrics`` over HTTP when
+        the server exposes it): counters accumulated by the request
+        handlers plus point-in-time queue/worker gauges.
+        """
+        with self._lock:
+            self._queue.expire()
+            counts = self._queue.counts()
+            now = self._clock()
+            active = self._queue.active_leases()
+            oldest = max((now - lease.granted_at for lease in active), default=None)
+            self._refresh_queue_gauges(counts, oldest)
+            return self.metrics.snapshot()
+
+    def _refresh_queue_gauges(
+        self, counts: dict[str, int], oldest: float | None
+    ) -> None:
+        """Mirror the queue partition into the registry (lock held)."""
+        metrics = self.metrics
+        metrics.gauge("fabric.queue_depth").set(counts["pending"])
+        metrics.gauge("fabric.leased_cells").set(counts["leased"])
+        metrics.gauge("fabric.completed_cells").set(counts["completed"])
+        metrics.gauge("fabric.quarantined_cells").set(counts["quarantined"])
+        metrics.gauge("fabric.oldest_lease_age_s").set(
+            0.0 if oldest is None else oldest
+        )
+        metrics.gauge("fabric.retry_attempts").set(
+            sum(self._queue.attempts.values())
+        )
+        now = self._clock()
+        for name, stats in self._workers.items():
+            metrics.gauge(f"worker.{name}.last_seen_age_s").set(
+                max(now - stats["last_seen"], 0.0)
+            )
 
     # -- restart persistence ----------------------------------------------
 

@@ -35,6 +35,9 @@ import time
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable
 
+from repro.obs import events as _events
+from repro.obs.bus import EVENT_BUS
+
 __all__ = ["Lease", "LeaseQueue", "DEFAULT_LEASE_TTL"]
 
 #: Default lease time budget (seconds): a worker must complete or heartbeat
@@ -142,6 +145,10 @@ class LeaseQueue:
         self.expire()
         return sorted(self._leases.values(), key=lambda lease: lease.index)
 
+    def lease(self, lease_id: str) -> Lease | None:
+        """The live lease with this id, or ``None`` (no expiry reap)."""
+        return self._leases.get(lease_id)
+
     def next_event_in(self, now: float | None = None) -> float:
         """Seconds until the next lease deadline or backoff release.
 
@@ -187,6 +194,10 @@ class LeaseQueue:
             self._state[index] = "leased"
             self._leases[lease.lease_id] = lease
             self._lease_of[index] = lease.lease_id
+            if EVENT_BUS.active:
+                EVENT_BUS.emit(
+                    _events.LeaseClaimed(index, worker, lease.lease_id)
+                )
             return lease
         return None
 
@@ -235,14 +246,16 @@ class LeaseQueue:
         lease = self._leases.get(lease_id)
         if lease is None:
             return
-        self._requeue(lease, reason, now)
+        self._requeue(lease, reason, now, expired=False)
 
     def expire(self, now: float | None = None) -> list[Lease]:
         """Reap every lease whose deadline passed; returns the reaped leases."""
         now = self._clock() if now is None else now
         expired = [l for l in self._leases.values() if l.deadline <= now]
         for lease in expired:
-            self._requeue(lease, f"lease expired (worker {lease.worker!r})", now)
+            self._requeue(
+                lease, f"lease expired (worker {lease.worker!r})", now, expired=True
+            )
         return expired
 
     # -- persistence hooks -------------------------------------------------
@@ -269,18 +282,35 @@ class LeaseQueue:
         if lease_id is not None:
             self._leases.pop(lease_id, None)
 
-    def _requeue(self, lease: Lease, reason: str, now: float) -> None:
+    def _requeue(
+        self, lease: Lease, reason: str, now: float, *, expired: bool = True
+    ) -> None:
         index = lease.index
         self._release_lease_of(index)
         if self._state.get(index) != "leased":  # pragma: no cover - guard
             return
         attempts = self._attempts.get(index, 0) + 1
         self._attempts[index] = attempts
+        if EVENT_BUS.active:
+            if expired:
+                EVENT_BUS.emit(_events.LeaseExpired(index, lease.worker, attempts))
+            else:
+                EVENT_BUS.emit(
+                    _events.LeaseFailed(index, lease.worker, reason, attempts)
+                )
         if attempts >= self.max_attempts:
             self._state[index] = "quarantined"
             self._quarantine_reason[index] = (
                 f"{reason} — attempt {attempts}/{self.max_attempts}"
             )
+            if EVENT_BUS.active:
+                EVENT_BUS.emit(
+                    _events.CellQuarantined(
+                        index,
+                        f"{reason} — attempt {attempts}/{self.max_attempts}",
+                        attempts,
+                    )
+                )
             return
         not_before = now + self.backoff_s * (2 ** (attempts - 1))
         self._state[index] = "pending"

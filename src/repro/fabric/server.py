@@ -38,7 +38,13 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024  # a record batch is small; this is a fuse
 
 
 class FabricHTTPServer:
-    """Serve one coordinator over loopback/LAN HTTP from a background thread."""
+    """Serve one coordinator over loopback/LAN HTTP from a background thread.
+
+    ``expose_metrics`` additionally publishes the coordinator's metrics
+    registry at ``/metrics`` (``fabric serve --telemetry``); without it the
+    endpoint answers 404 with a hint, so operators learn the flag instead
+    of debugging a silent miss.
+    """
 
     def __init__(
         self,
@@ -46,10 +52,12 @@ class FabricHTTPServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        expose_metrics: bool = False,
     ) -> None:
         self._coordinator = coordinator
         self._host = host
         self._port = port
+        self._expose_metrics = expose_metrics
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
@@ -163,6 +171,13 @@ class FabricHTTPServer:
             return 400, {"error": f"bad JSON body: {error}"}
         if not isinstance(payload, dict):
             return 400, {"error": "payload must be a JSON object"}
+        if action == "metrics" and not self._expose_metrics:
+            return 404, {
+                "error": (
+                    "metrics endpoint not exposed; start the coordinator "
+                    "with 'fabric serve --telemetry' to publish /metrics"
+                )
+            }
         # Run the (locking, possibly file-writing) handler off the loop.
         loop = asyncio.get_running_loop()
         try:

@@ -34,6 +34,8 @@ from typing import TYPE_CHECKING, Callable, Mapping
 from repro.experiments.runner import _run_cell
 from repro.fabric.protocol import cell_from_payload, records_to_payload
 from repro.fabric.transport import Transport, TransportError
+from repro.obs import events as _events
+from repro.obs.bus import EVENT_BUS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import RunRecord, SweepCell
@@ -173,9 +175,22 @@ class FabricWorker:
         def _beat() -> None:
             while not stop.wait(interval):
                 try:
-                    self.transport.request("heartbeat", {"lease": grant["lease"]})
+                    response = self.transport.request(
+                        "heartbeat", {"lease": grant["lease"]}
+                    )
                 except TransportError:
-                    pass  # the next beat (or lease expiry) sorts it out
+                    continue  # the next beat (or lease expiry) sorts it out
+                # Emitted worker-side only (the coordinator counts beats in
+                # its metrics registry), so a LocalFleet sharing one
+                # in-process bus never double-reports a heartbeat.
+                if EVENT_BUS.active:
+                    EVENT_BUS.emit(
+                        _events.WorkerHeartbeat(
+                            self.name,
+                            str(grant["lease"]),
+                            bool(response.get("valid", False)),
+                        )
+                    )
 
         beater = threading.Thread(target=_beat, name=f"{self.name}-heartbeat", daemon=True)
         beater.start()

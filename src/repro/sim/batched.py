@@ -77,6 +77,8 @@ from repro.network.bitset import (
 )
 from repro.network.topology import WSNTopology
 from repro.sim.engine import SimulationTimeout
+from repro.obs import events as _events
+from repro.obs.bus import EVENT_BUS
 from repro.sim.fast_engine import (
     FastRoundEngine,
     FastSlotEngine,
@@ -795,6 +797,9 @@ class _LaneBatch:
                 # alias the live covered set, so time is all that changes).
                 lane.state_view.time = lane.time
                 served.append(lane)
+            if EVENT_BUS.active:
+                for lane in served:
+                    EVENT_BUS.emit(_events.LaneWoke(lane.row, lane.time))
             if profile is None:
                 decisions = self._select(served)
             else:

@@ -33,11 +33,36 @@ from repro.core.policies import SchedulingPolicy
 from repro.core.advance import Advance
 from repro.dutycycle.schedule import WakeupSchedule
 from repro.network.topology import WSNTopology
+from repro.obs import events as _events
+from repro.obs.bus import EVENT_BUS
 from repro.sim.fast_engine import FastRoundEngine, FastSlotEngine
 from repro.sim.links import LinkModel, ReliableLinks
 from repro.utils.validation import require
 
-__all__ = ["StreamSummary", "stream_broadcast"]
+__all__ = ["StreamSummary", "StreamSinkError", "stream_broadcast"]
+
+
+class StreamSinkError(RuntimeError):
+    """A streaming sink raised mid-broadcast (context attached).
+
+    The engine cannot roll a half-stepped broadcast back, so the run is
+    abandoned — but with the failing advance, its slot, and how many
+    advances had already streamed, instead of a bare traceback from
+    somewhere inside the slot loop.  The original exception rides along as
+    ``__cause__``.
+    """
+
+    def __init__(
+        self, advance: Advance, num_advances: int, error: BaseException
+    ) -> None:
+        self.advance = advance
+        self.num_advances = num_advances
+        super().__init__(
+            f"stream sink failed on advance {num_advances} at time "
+            f"{advance.time} ({len(advance.color)} transmitter(s), "
+            f"{len(advance.receivers)} receiver(s)): "
+            f"{type(error).__name__}: {error}"
+        )
 
 #: Backends whose engines expose the streaming generator.
 STREAMING_BACKENDS = ("vectorized", "batched")
@@ -93,7 +118,10 @@ def stream_broadcast(
     (single-source form); ``sink`` receives every recorded advance in
     chronological order (``None`` discards them, leaving only the summary).
     The advance sequence and all summary metrics are bit-identical to the
-    materialized ``run_broadcast`` trace of the same parameters.
+    materialized ``run_broadcast`` trace of the same parameters.  A sink
+    that raises aborts the stream as a :class:`StreamSinkError` carrying
+    the failing advance, its slot, and the advance count so far (the
+    broadcast is half-stepped and cannot be resumed).
 
     Validation is the one deliberate difference: re-checking a trace needs
     the whole trace, so streamed runs are not re-validated — the engine's
@@ -145,8 +173,17 @@ def stream_broadcast(
         num_advances += 1
         total_transmissions += len(advance.color)
         failed_deliveries += advance.failed_deliveries
+        if EVENT_BUS.active:
+            EVENT_BUS.emit(
+                _events.SlotAdvanced(
+                    advance.time, len(advance.color), len(advance.receivers)
+                )
+            )
         if sink is not None:
-            sink(advance)
+            try:
+                sink(advance)
+            except Exception as error:
+                raise StreamSinkError(advance, num_advances, error) from error
         # Drop the local reference before the next step so the advance is
         # collectable as soon as the sink lets go of it.
         del advance

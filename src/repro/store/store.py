@@ -39,6 +39,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator, Sequence
 
+from repro.obs import events as _events
+from repro.obs.bus import EVENT_BUS
 from repro.store.backends import StoreBackend, get_store_backend
 from repro.store.cellkey import STORE_SCHEMA_VERSION, CellKey
 from repro.utils.serialization import atomic_write_text
@@ -214,6 +216,8 @@ class ExperimentStore:
                 "SELECT shard, backend FROM cells WHERE digest = ?", (key.digest,)
             ).fetchone()
         if row is None:
+            if EVENT_BUS.active:
+                EVENT_BUS.emit(_events.StoreMiss(key.digest))
             return None
         shard_path = self.root / row[0]
         try:
@@ -224,8 +228,13 @@ class ExperimentStore:
                     "DELETE FROM cells WHERE digest = ?", (key.digest,)
                 )
                 self._connection.commit()
+            if EVENT_BUS.active:
+                EVENT_BUS.emit(_events.StoreMiss(key.digest))
             return None
-        return get_store_backend(row[1]).loads(text)
+        records = get_store_backend(row[1]).loads(text)
+        if EVENT_BUS.active:
+            EVENT_BUS.emit(_events.StoreHit(key.digest, len(records)))
+        return records
 
     def put(self, key: CellKey, records: "Sequence[RunRecord]") -> str:
         """Persist one cell's record batch; returns the content digest.
@@ -267,6 +276,8 @@ class ExperimentStore:
                 ),
             )
             self._connection.commit()
+        if EVENT_BUS.active:
+            EVENT_BUS.emit(_events.StorePut(digest, len(records)))
         return digest
 
     # -- the operator surface ---------------------------------------------

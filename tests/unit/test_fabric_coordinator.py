@@ -231,3 +231,70 @@ class TestHTTPServer:
         coordinator = FabricCoordinator(_CELLS)
         transport = LocalTransport(coordinator)
         assert transport.request("status", {}) == coordinator.status()
+
+
+class TestCoordinatorTelemetry:
+    """The extended status fields and the /metrics endpoint (docs/telemetry.md)."""
+
+    def test_status_reports_queue_depth_and_attempts(self, cell_records):
+        coordinator = FabricCoordinator(_CELLS, max_attempts=3)
+        grant = coordinator.handle_request("claim", {"worker": "w1"})
+        # One rejected result charges the cell's budget and requeues it.
+        _post_result(coordinator, grant, cell_records[grant["index"]], digest="0" * 64)
+        status = coordinator.status()
+        assert status["queue_depth"] == status["counts"]["pending"]
+        assert status["attempts"] == {str(grant["index"]): 1}
+        assert status["oldest_lease_age_s"] is None  # nothing leased right now
+
+    def test_status_reports_oldest_lease_age(self):
+        coordinator = FabricCoordinator(_CELLS)
+        coordinator.handle_request("claim", {"worker": "w1"})
+        status = coordinator.status()
+        assert status["oldest_lease_age_s"] is not None
+        assert status["oldest_lease_age_s"] >= 0.0
+        for stats in status["workers"].values():
+            assert stats["last_seen_age_s"] >= 0.0
+
+    def test_metrics_action_serves_the_registry(self, cell_records):
+        coordinator = FabricCoordinator(_CELLS)
+        grant = coordinator.handle_request("claim", {"worker": "w1"})
+        _post_result(coordinator, grant, cell_records[grant["index"]])
+        snapshot = coordinator.handle_request("metrics", {})
+        assert snapshot["counters"]["fabric.claim_requests"] == 1
+        assert snapshot["counters"]["fabric.lease_claims"] == 1
+        assert snapshot["counters"]["fabric.results_committed"] == 1
+        assert snapshot["gauges"]["fabric.completed_cells"] == 1
+        assert snapshot["gauges"]["fabric.queue_depth"] == len(_CELLS) - 1
+        assert "worker.w1.last_seen_age_s" in snapshot["gauges"]
+
+    def test_duplicate_and_rejected_results_are_counted(self, cell_records):
+        coordinator = FabricCoordinator(_CELLS, max_attempts=5)
+        grant = coordinator.handle_request("claim", {"worker": "w1"})
+        _post_result(coordinator, grant, cell_records[grant["index"]])
+        _post_result(coordinator, grant, cell_records[grant["index"]])
+        bad = coordinator.handle_request("claim", {"worker": "w1"})
+        _post_result(coordinator, bad, cell_records[bad["index"]], digest="0" * 64)
+        counters = coordinator.handle_request("metrics", {})["counters"]
+        assert counters["fabric.results_committed"] == 1
+        assert counters["fabric.results_duplicate"] == 1
+        assert counters["fabric.results_rejected"] == 1
+
+    def test_metrics_endpoint_is_gated_behind_telemetry_flag(self):
+        from repro.fabric import TransportError
+
+        coordinator = FabricCoordinator(_CELLS)
+        with FabricHTTPServer(coordinator) as server:
+            transport = HttpTransport(server.url)
+            with pytest.raises(TransportError, match="fabric serve --telemetry"):
+                transport.request("metrics", {})
+            transport.close()
+
+    def test_metrics_endpoint_served_when_exposed(self):
+        coordinator = FabricCoordinator(_CELLS)
+        with FabricHTTPServer(coordinator, expose_metrics=True) as server:
+            transport = HttpTransport(server.url)
+            transport.request("claim", {"worker": "w1"})
+            snapshot = transport.request("metrics", {})
+            transport.close()
+        assert snapshot["counters"]["fabric.lease_claims"] == 1
+        assert snapshot["gauges"]["fabric.leased_cells"] == 1

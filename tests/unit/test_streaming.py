@@ -138,3 +138,70 @@ def test_streaming_rejects_unknown_source() -> None:
     topology, _ = _deployment(seed=6)
     with pytest.raises(ValueError, match="unknown source node"):
         stream_broadcast(topology, max(topology.node_ids) + 99, EModelPolicy())
+
+
+class TestStreamSinkError:
+    """A raising sink aborts the run loudly, with the failing slot attached."""
+
+    def test_sink_exception_carries_the_failing_advance(self):
+        from repro.sim.streaming import StreamSinkError
+
+        topology, source = _deployment(seed=3)
+        seen = []
+
+        def fragile_sink(advance) -> None:
+            if len(seen) == 2:
+                raise OSError("disk full")
+            seen.append(advance)
+
+        with pytest.raises(StreamSinkError) as info:
+            stream_broadcast(topology, source, EModelPolicy(), sink=fragile_sink)
+        error = info.value
+        assert error.num_advances == 3  # failed consuming the third advance
+        assert error.advance.time >= seen[-1].time
+        assert len(error.advance.color) >= 1
+        assert isinstance(error.__cause__, OSError)
+        message = str(error)
+        assert "advance 3" in message
+        assert f"time {error.advance.time}" in message
+        assert "transmitter(s)" in message and "receiver(s)" in message
+        assert "OSError: disk full" in message
+
+    def test_failure_on_the_first_advance(self):
+        from repro.sim.streaming import StreamSinkError
+
+        topology, source = _deployment(seed=5)
+
+        def broken_sink(advance) -> None:
+            raise ValueError("bad consumer")
+
+        with pytest.raises(StreamSinkError, match="advance 1 at time"):
+            stream_broadcast(topology, source, EModelPolicy(), sink=broken_sink)
+
+    def test_healthy_sinks_are_unaffected(self):
+        topology, source = _deployment(seed=7)
+        advances = []
+        summary = stream_broadcast(
+            topology, source, EModelPolicy(), sink=advances.append
+        )
+        assert summary.num_advances == len(advances)
+
+
+class TestStreamingTelemetry:
+    def test_slot_advanced_events_mirror_the_advances(self):
+        from repro.obs.bus import EVENT_BUS
+        from repro.obs.events import SlotAdvanced
+        from repro.obs.sinks import RingBufferSink
+
+        topology, source = _deployment(seed=4)
+        streamed = []
+        ring = RingBufferSink()
+        with EVENT_BUS.attached(ring):
+            summary = stream_broadcast(
+                topology, source, EModelPolicy(), sink=streamed.append
+            )
+        slots = [e for e in ring.events() if isinstance(e, SlotAdvanced)]
+        assert len(slots) == summary.num_advances
+        assert [s.time for s in slots] == [a.time for a in streamed]
+        assert [s.transmitters for s in slots] == [len(a.color) for a in streamed]
+        assert [s.receivers for s in slots] == [len(a.receivers) for a in streamed]
